@@ -1,0 +1,57 @@
+// Shared flag handling for the figure benches.
+//
+// Every figure bench accepts --trials / --seed / --sizes / --quick so the
+// full suite can be run fast in CI (`--quick`) or at paper scale (default).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "experiments/config.hpp"
+#include "experiments/report.hpp"
+#include "experiments/runner.hpp"
+#include "util/flags.hpp"
+#include "util/logging.hpp"
+
+namespace gs::benchtool {
+
+struct BenchOptions {
+  std::vector<std::size_t> sizes;
+  std::size_t trials = 3;
+  std::uint64_t seed = 1;
+  std::string csv;  ///< optional CSV output path
+};
+
+/// Parses the standard bench flags.  Returns false if --help was printed.
+inline bool parse_bench_flags(int argc, char** argv, BenchOptions& options,
+                              const std::string& default_sizes = "100,500,1000,2000,4000,8000") {
+  util::Flags flags;
+  flags.define("sizes", default_sizes, "comma-separated overlay sizes");
+  flags.define_int("trials", 3, "paired trials per size");
+  flags.define_int("seed", 1, "base experiment seed");
+  flags.define_bool("quick", false, "small sizes / single trial (CI smoke)");
+  flags.define("csv", "", "optional CSV output path");
+  flags.define("log", "warn", "log level");
+  if (!flags.parse(argc, argv)) return false;
+  util::set_log_level(util::parse_log_level(flags.get("log")));
+
+  options.trials = static_cast<std::size_t>(flags.get_int("trials"));
+  options.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  options.csv = flags.get("csv");
+
+  std::string list = flags.get_bool("quick") ? "100,500" : flags.get("sizes");
+  if (flags.get_bool("quick")) options.trials = 1;
+  options.sizes.clear();
+  std::size_t pos = 0;
+  while (pos < list.size()) {
+    const std::size_t comma = list.find(',', pos);
+    const std::string token = list.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    if (!token.empty()) options.sizes.push_back(static_cast<std::size_t>(std::stoull(token)));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return true;
+}
+
+}  // namespace gs::benchtool

@@ -1,0 +1,28 @@
+// Figure 9: ratio tracks in a dynamic network (5% leave + 5% join per
+// scheduling period) with 1000 nodes.
+//
+// Paper result: consistent with the static environment (Fig. 5).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  gs::benchtool::BenchOptions options;
+  if (!gs::benchtool::parse_bench_flags(argc, argv, options, "1000")) return 0;
+  const std::size_t nodes = options.sizes.empty() ? 1000 : options.sizes.front();
+
+  const gs::exp::RunResult fast = gs::exp::run_once(
+      gs::exp::Config::paper_dynamic(nodes, gs::exp::AlgorithmKind::kFast, options.seed));
+  const gs::exp::RunResult normal = gs::exp::run_once(
+      gs::exp::Config::paper_dynamic(nodes, gs::exp::AlgorithmKind::kNormal, options.seed));
+
+  gs::exp::print_ratio_tracks(
+      "Fig. 9: ratio tracks in a dynamic network with " + std::to_string(nodes) +
+          " nodes (5%/5% churn per period)",
+      fast.primary(), normal.primary());
+  std::printf("\nchurn: fast run %zu joins / %zu leaves; censored prepare: fast %zu, normal %zu\n",
+              fast.stats.joins, fast.stats.leaves, fast.primary().censored_prepare,
+              normal.primary().censored_prepare);
+  if (!options.csv.empty()) {
+    gs::exp::write_tracks_csv(options.csv, fast.primary(), normal.primary());
+  }
+  return 0;
+}

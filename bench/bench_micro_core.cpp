@@ -1,0 +1,156 @@
+// Microbenchmarks of the hot kernels (google-benchmark): rate solver,
+// priority computation, Algorithm 1 greedy, buffer-map codec, stream
+// buffer, event queue.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "core/fast_switch.hpp"
+#include "core/priority.hpp"
+#include "core/rate_solver.hpp"
+#include "core/supplier_selection.hpp"
+#include "gossip/buffer_map.hpp"
+#include "sim/event_queue.hpp"
+#include "stream/stream_buffer.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using gs::stream::CandidateSegment;
+using gs::stream::ScheduleContext;
+using gs::stream::StreamEpoch;
+using gs::stream::SupplierView;
+
+void BM_RateSolverUnconstrained(benchmark::State& state) {
+  gs::core::SplitInput in{128, 50, 10, 10, 15};
+  for (auto _ : state) {
+    in.q1 = 50.0 + std::fmod((in.q1 + 1.0) * 31.0, 200.0);  // vary inputs to defeat CSE
+    benchmark::DoNotOptimize(gs::core::solve_unconstrained(in));
+  }
+}
+BENCHMARK(BM_RateSolverUnconstrained);
+
+void BM_RateSolverCapped(benchmark::State& state) {
+  gs::core::SplitInput in{128, 50, 10, 10, 15};
+  double o1 = 8.0;
+  for (auto _ : state) {
+    o1 = 1.0 + (o1 * 7.0 + 3.0) * 0.5;
+    if (o1 > 30.0) o1 = 1.0;
+    benchmark::DoNotOptimize(gs::core::solve_capped(in, o1, 12.0 - o1 * 0.2));
+  }
+}
+BENCHMARK(BM_RateSolverCapped);
+
+std::vector<CandidateSegment> make_candidates(std::size_t count, std::size_t suppliers,
+                                              gs::util::Rng& rng) {
+  std::vector<CandidateSegment> candidates(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    candidates[i].id = 100 + static_cast<gs::stream::SegmentId>(i);
+    candidates[i].epoch = i % 3 == 0 ? StreamEpoch::kNew : StreamEpoch::kOld;
+    for (std::size_t j = 0; j < suppliers; ++j) {
+      SupplierView s;
+      s.node = static_cast<gs::net::NodeId>(j);
+      s.send_rate = rng.uniform(10.0, 33.0);
+      s.buffer_position = static_cast<std::size_t>(rng.uniform_int(1, 600));
+      candidates[i].suppliers.push_back(s);
+    }
+  }
+  return candidates;
+}
+
+ScheduleContext bench_ctx() {
+  ScheduleContext ctx;
+  ctx.id_play = 95;
+  ctx.playback_rate = 10.0;
+  ctx.inbound_rate = 15.0;
+  ctx.buffer_capacity = 600;
+  ctx.max_requests = 15;
+  ctx.s1_end = 160;
+  ctx.s2_begin = 161;
+  ctx.q1_remaining = 60;
+  ctx.q2_remaining = 50;
+  return ctx;
+}
+
+void BM_PriorityKernel(benchmark::State& state) {
+  gs::util::Rng rng(1);
+  const auto candidates = make_candidates(static_cast<std::size_t>(state.range(0)), 5, rng);
+  const ScheduleContext ctx = bench_ctx();
+  const gs::core::PriorityParams params;
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (const auto& c : candidates) acc += gs::core::segment_priority(c, ctx, params);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PriorityKernel)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_GreedyAssign(benchmark::State& state) {
+  gs::util::Rng rng(2);
+  const auto base = make_candidates(static_cast<std::size_t>(state.range(0)), 5, rng);
+  const ScheduleContext ctx = bench_ctx();
+  std::vector<double> priorities(base.size());
+  for (std::size_t i = 0; i < base.size(); ++i) priorities[i] = 1.0 / (1.0 + static_cast<double>(i));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gs::core::greedy_assign(ctx, base, priorities));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GreedyAssign)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_FastSwitchSchedule(benchmark::State& state) {
+  gs::util::Rng rng(3);
+  const auto base = make_candidates(static_cast<std::size_t>(state.range(0)), 5, rng);
+  ScheduleContext ctx = bench_ctx();
+  gs::util::Rng node_rng(4);
+  ctx.rng = &node_rng;
+  gs::core::FastSwitchScheduler scheduler;
+  for (auto _ : state) {
+    auto candidates = base;
+    benchmark::DoNotOptimize(scheduler.schedule(ctx, candidates));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FastSwitchSchedule)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_BufferMapEncodeDecode(benchmark::State& state) {
+  gs::util::Rng rng(5);
+  gs::gossip::BufferMap map(123456, 600);
+  for (gs::gossip::SegmentId id = 123456; id < 123456 + 600; ++id) {
+    if (rng.bernoulli(0.6)) map.mark(id);
+  }
+  for (auto _ : state) {
+    const auto bytes = map.encode();
+    benchmark::DoNotOptimize(gs::gossip::BufferMap::decode(bytes, 600, 123000));
+  }
+}
+BENCHMARK(BM_BufferMapEncodeDecode);
+
+void BM_StreamBufferInsert(benchmark::State& state) {
+  gs::stream::StreamBuffer buffer(600);
+  gs::stream::SegmentId id = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(buffer.insert(id++));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StreamBufferInsert);
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    gs::sim::EventQueue queue;
+    int sink = 0;
+    for (int i = 0; i < state.range(0); ++i) {
+      queue.schedule(static_cast<double>((i * 7919) % 1000), [&sink] { ++sink; });
+    }
+    while (!queue.empty()) queue.pop_and_run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1000)->Arg(10000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,176 @@
+#include "core/fast_switch.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace gs::core {
+
+std::vector<double> sort_by_priority(const stream::ScheduleContext& ctx,
+                                     std::vector<stream::CandidateSegment>& candidates,
+                                     const PriorityParams& params) {
+  std::vector<double> priorities(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    priorities[i] = segment_priority(candidates[i], ctx, params);
+  }
+  // Sort by quantized priority class (factor-of-two buckets), randomized
+  // within a class.  Exact float ordering would make every peer pull in
+  // strict id order, so same-depth peers would hold identical segment sets
+  // and have nothing to trade — collapsing the mesh into a source-rooted
+  // tree whose interior relays saturate.  Randomizing among near-equal
+  // priorities is the standard swarming ingredient of pull-based streaming
+  // (both algorithms share it; deadlines still dominate across classes).
+  std::vector<std::size_t> order(candidates.size());
+  std::iota(order.begin(), order.end(), 0);
+  if (ctx.rng != nullptr) ctx.rng->shuffle(order);
+  std::stable_sort(order.begin(), order.end(), [&priorities](std::size_t a, std::size_t b) {
+    return priority_class(priorities[a]) > priority_class(priorities[b]);
+  });
+  std::vector<stream::CandidateSegment> sorted;
+  sorted.reserve(candidates.size());
+  std::vector<double> sorted_priorities;
+  sorted_priorities.reserve(candidates.size());
+  for (const std::size_t idx : order) {
+    sorted.push_back(std::move(candidates[idx]));
+    sorted_priorities.push_back(priorities[idx]);
+  }
+  candidates = std::move(sorted);
+  return sorted_priorities;
+}
+
+void promote_fresh_candidates(const stream::ScheduleContext& ctx,
+                              std::vector<stream::CandidateSegment>& candidates,
+                              std::vector<double>& priorities, const PriorityParams& params) {
+  if (params.diversity_fraction <= 0.0 || candidates.size() < 2 || ctx.max_requests == 0) return;
+  const auto n_fresh = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::llround(params.diversity_fraction * static_cast<double>(ctx.max_requests))));
+  if (n_fresh >= candidates.size()) return;
+
+  // The freshest window: the 3*n_fresh highest ids on offer.  Sampling
+  // n_fresh of them at random (rather than taking the very freshest)
+  // decorrelates the picks of neighbouring peers — the whole point.
+  std::vector<std::size_t> by_id(candidates.size());
+  std::iota(by_id.begin(), by_id.end(), 0);
+  std::sort(by_id.begin(), by_id.end(), [&candidates](std::size_t a, std::size_t b) {
+    return candidates[a].id > candidates[b].id;
+  });
+  const std::size_t window = std::min(candidates.size(), n_fresh * 3);
+  by_id.resize(window);
+  if (ctx.rng != nullptr) ctx.rng->shuffle(by_id);
+  by_id.resize(std::min(n_fresh, window));
+
+  std::vector<char> chosen(candidates.size(), 0);
+  for (const std::size_t idx : by_id) chosen[idx] = 1;
+  std::vector<stream::CandidateSegment> reordered;
+  std::vector<double> reordered_priorities;
+  reordered.reserve(candidates.size());
+  reordered_priorities.reserve(candidates.size());
+  for (const std::size_t idx : by_id) {
+    reordered.push_back(std::move(candidates[idx]));
+    reordered_priorities.push_back(priorities[idx]);
+  }
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (chosen[i]) continue;
+    reordered.push_back(std::move(candidates[i]));
+    reordered_priorities.push_back(priorities[i]);
+  }
+  candidates = std::move(reordered);
+  priorities = std::move(reordered_priorities);
+}
+
+std::vector<stream::ScheduledRequest> FastSwitchScheduler::schedule(
+    const stream::ScheduleContext& ctx, std::vector<stream::CandidateSegment>& candidates) {
+  std::vector<stream::ScheduledRequest> requests;
+  if (candidates.empty() || ctx.max_requests == 0) return requests;
+
+  std::vector<double> priorities = sort_by_priority(ctx, candidates, params_);
+  if (ctx.s1_end == stream::kNoSegment) {
+    promote_fresh_candidates(ctx, candidates, priorities, params_);
+  }
+  const std::vector<Assignment> assignments = greedy_assign(ctx, candidates, priorities);
+  if (assignments.empty()) return requests;
+
+  if (ctx.s1_end == stream::kNoSegment) {
+    // No switch in sight: plain smart-pull by priority.
+    for (const Assignment& a : assignments) {
+      if (requests.size() >= ctx.max_requests) break;
+      requests.push_back({a.id, a.supplier});
+    }
+    return requests;
+  }
+
+  // Step 1 output: O1 / O2 in descending priority order.
+  std::vector<const Assignment*> o1;
+  std::vector<const Assignment*> o2;
+  for (const Assignment& a : assignments) {
+    (a.epoch == stream::StreamEpoch::kOld ? o1 : o2).push_back(&a);
+  }
+
+  // Step 2: the capped closed-form split.  |O1|/tau and |O2|/tau are the
+  // achievable outbound rates toward this node this period.
+  SplitInput in;
+  in.q1 = static_cast<double>(ctx.q1_remaining);
+  in.q2 = static_cast<double>(ctx.q2_remaining);
+  in.q = static_cast<double>(ctx.q_consecutive);
+  in.p = ctx.playback_rate;
+  in.inbound = std::max(ctx.inbound_rate, 1e-9);
+  const double o1_rate = static_cast<double>(o1.size()) / ctx.period;
+  const double o2_rate = static_cast<double>(o2.size()) / ctx.period;
+  last_split_ = solve_capped(in, o1_rate, o2_rate);
+
+  // Round the shares to whole segments; +0.5 on i1 keeps the pair summing
+  // near the budget without systematically starving either side.
+  auto n1 = static_cast<std::size_t>(std::floor(last_split_.i1 * ctx.period + 0.5));
+  auto n2 = static_cast<std::size_t>(std::floor(last_split_.i2 * ctx.period + 0.5));
+  n1 = std::min(n1, o1.size());
+  n2 = std::min(n2, o2.size());
+
+  // Step 3: take the heads of both sets, *interleaved* proportionally to
+  // the split (Fig. 2: "S1#1, S1#2, S2#1, S1#3, S2#2, ...").  Interleaving
+  // matters beyond aesthetics: the request order is the order transfers
+  // queue at suppliers, so a block of S1 requests ahead of every S2 request
+  // would push the new stream to the back of every uplink.
+  std::vector<const Assignment*> chosen;
+  chosen.reserve(n1 + n2);
+  {
+    std::size_t i1_taken = 0;
+    std::size_t i2_taken = 0;
+    // Bresenham-style merge: at every step emit from the set that is most
+    // behind its target share.
+    while (i1_taken < n1 || i2_taken < n2) {
+      const double deficit1 =
+          n1 == 0 ? -1.0
+                  : static_cast<double>(n1 - i1_taken) / static_cast<double>(n1);
+      const double deficit2 =
+          n2 == 0 ? -1.0
+                  : static_cast<double>(n2 - i2_taken) / static_cast<double>(n2);
+      if (i2_taken >= n2 || (i1_taken < n1 && deficit1 >= deficit2)) {
+        chosen.push_back(o1[i1_taken++]);
+      } else {
+        chosen.push_back(o2[i2_taken++]);
+      }
+    }
+  }
+
+  std::vector<char> taken(assignments.size(), 0);
+  auto index_of = [&assignments](const Assignment* a) {
+    return static_cast<std::size_t>(a - assignments.data());
+  };
+  for (const Assignment* a : chosen) {
+    if (requests.size() >= ctx.max_requests) break;
+    requests.push_back({a->id, a->supplier});
+    taken[index_of(a)] = 1;
+  }
+  // Fill: leftover budget goes to the remaining assignments by priority.
+  for (const Assignment& a : assignments) {
+    if (requests.size() >= ctx.max_requests) break;
+    if (taken[index_of(&a)]) continue;
+    requests.push_back({a.id, a.supplier});
+  }
+  return requests;
+}
+
+}  // namespace gs::core

@@ -1,0 +1,60 @@
+// The paper's contribution: the fast source switch algorithm (Algorithm 1).
+//
+// Per scheduling period:
+//   1. compute each candidate's priority (eqs. 6-9) and sort descending;
+//   2. greedily assign suppliers (earliest expected receive time within the
+//      period), building the ordered sets O1 (old stream) and O2 (new
+//      stream prefix);
+//   3. split the inbound rate by the closed form (eq. 4) capped by
+//      O1 = |O1|, O2 = |O2| via the four §4 cases;
+//   4. request the first I1*tau segments of O1 and the first I2*tau of O2.
+// A final fill stage spends any leftover inbound budget on the remaining
+// assignments in priority order (never letting capacity idle, mirroring
+// the normal algorithm's leftover rule).
+//
+// Outside a known switch the strategy degenerates to pure priority pulling,
+// which is the standard smart-pull gossip scheduler.
+#pragma once
+
+#include "core/priority.hpp"
+#include "core/rate_solver.hpp"
+#include "core/supplier_selection.hpp"
+#include "stream/scheduler.hpp"
+
+namespace gs::core {
+
+class FastSwitchScheduler final : public stream::SchedulerStrategy {
+ public:
+  explicit FastSwitchScheduler(PriorityParams params = {}) : params_(params) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "fast"; }
+
+  [[nodiscard]] std::vector<stream::ScheduledRequest> schedule(
+      const stream::ScheduleContext& ctx,
+      std::vector<stream::CandidateSegment>& candidates) override;
+
+  /// The split chosen by the most recent schedule() call with an active
+  /// switch (diagnostics / tests).
+  [[nodiscard]] const RateSplit& last_split() const noexcept { return last_split_; }
+
+ private:
+  PriorityParams params_;
+  RateSplit last_split_{};
+};
+
+/// Shared helper: sort candidates by priority (descending, stable) and
+/// return the matching priority values.  Exposed for the normal scheduler
+/// and for tests.
+[[nodiscard]] std::vector<double> sort_by_priority(const stream::ScheduleContext& ctx,
+                                                   std::vector<stream::CandidateSegment>& candidates,
+                                                   const PriorityParams& params);
+
+/// Shared helper: moves a randomized sample of the freshest candidates to
+/// the front of the (priority-sorted) list so they claim supplier capacity
+/// first.  This is the diversity reservation described in PriorityParams;
+/// call only when no switch split is active.
+void promote_fresh_candidates(const stream::ScheduleContext& ctx,
+                              std::vector<stream::CandidateSegment>& candidates,
+                              std::vector<double>& priorities, const PriorityParams& params);
+
+}  // namespace gs::core

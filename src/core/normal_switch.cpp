@@ -1,0 +1,47 @@
+#include "core/normal_switch.hpp"
+
+#include <algorithm>
+
+#include "core/fast_switch.hpp"
+#include "core/supplier_selection.hpp"
+
+namespace gs::core {
+
+std::vector<stream::ScheduledRequest> NormalSwitchScheduler::schedule(
+    const stream::ScheduleContext& ctx, std::vector<stream::CandidateSegment>& candidates) {
+  std::vector<stream::ScheduledRequest> requests;
+  if (candidates.empty() || ctx.max_requests == 0) return requests;
+
+  std::vector<double> priorities = sort_by_priority(ctx, candidates, params_);
+
+  if (ctx.s1_end == stream::kNoSegment) {
+    promote_fresh_candidates(ctx, candidates, priorities, params_);
+  } else {
+    // Strict S1-first: stable-partition the priority order so every old-
+    // stream candidate precedes every new-stream one (priority order is
+    // preserved within each class).
+    std::vector<stream::CandidateSegment> reordered;
+    std::vector<double> reordered_priorities;
+    reordered.reserve(candidates.size());
+    reordered_priorities.reserve(candidates.size());
+    for (int pass = 0; pass < 2; ++pass) {
+      const auto wanted = pass == 0 ? stream::StreamEpoch::kOld : stream::StreamEpoch::kNew;
+      for (std::size_t i = 0; i < candidates.size(); ++i) {
+        if (candidates[i].epoch != wanted) continue;
+        reordered.push_back(std::move(candidates[i]));
+        reordered_priorities.push_back(priorities[i]);
+      }
+    }
+    candidates = std::move(reordered);
+    priorities = std::move(reordered_priorities);
+  }
+
+  const std::vector<Assignment> assignments = greedy_assign(ctx, candidates, priorities);
+  for (const Assignment& a : assignments) {
+    if (requests.size() >= ctx.max_requests) break;
+    requests.push_back({a.id, a.supplier});
+  }
+  return requests;
+}
+
+}  // namespace gs::core

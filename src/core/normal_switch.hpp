@@ -1,0 +1,31 @@
+// Baseline: the normal switch algorithm (paper §5.1).
+//
+// "For a node n, when its neighbours can supply data segments of both S1
+// and S2, node n would retrieve data segments of S1 in priority.  If n
+// still has available inbound rate after retrieving data segments of S1,
+// it would allocate the remaining inbound rate to retrieve data segments
+// of S2."  I.e. strict S1-before-S2 ordering, with the same per-segment
+// priority metric and greedy supplier selection as the fast algorithm —
+// the only difference is the absence of interleaving.
+#pragma once
+
+#include "core/priority.hpp"
+#include "stream/scheduler.hpp"
+
+namespace gs::core {
+
+class NormalSwitchScheduler final : public stream::SchedulerStrategy {
+ public:
+  explicit NormalSwitchScheduler(PriorityParams params = {}) : params_(params) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "normal"; }
+
+  [[nodiscard]] std::vector<stream::ScheduledRequest> schedule(
+      const stream::ScheduleContext& ctx,
+      std::vector<stream::CandidateSegment>& candidates) override;
+
+ private:
+  PriorityParams params_;
+};
+
+}  // namespace gs::core

@@ -1,0 +1,56 @@
+#include "core/priority.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace gs::core {
+
+double max_receive_rate(std::span<const stream::SupplierView> suppliers) noexcept {
+  double best = 0.0;
+  for (const auto& s : suppliers) best = std::max(best, s.send_rate);
+  return best;
+}
+
+double urgency(stream::SegmentId id, stream::SegmentId id_play, double playback_rate,
+               double max_rate, const PriorityParams& params) noexcept {
+  GS_DCHECK(playback_rate > 0.0);
+  if (max_rate <= 0.0) return 0.0;  // unobtainable: no supplier
+  const double deadline_left =
+      static_cast<double>(id - id_play) / playback_rate - 1.0 / max_rate;
+  if (deadline_left <= 0.0) return params.urgency_cap;  // overdue: maximal urgency
+  return std::min(1.0 / deadline_left, params.urgency_cap);
+}
+
+double rarity(std::span<const stream::SupplierView> suppliers, std::size_t buffer_capacity,
+              const PriorityParams& params) noexcept {
+  if (suppliers.empty()) return 0.0;
+  if (params.traditional_rarity) {
+    return 1.0 / static_cast<double>(suppliers.size());
+  }
+  double product = 1.0;
+  for (const auto& s : suppliers) {
+    const double position = std::clamp<double>(static_cast<double>(s.buffer_position), 1.0,
+                                               static_cast<double>(buffer_capacity));
+    product *= position / static_cast<double>(buffer_capacity);
+  }
+  return product;
+}
+
+double segment_priority(const stream::CandidateSegment& candidate,
+                        const stream::ScheduleContext& ctx,
+                        const PriorityParams& params) noexcept {
+  const double r_max = max_receive_rate(candidate.suppliers);
+  const double u = urgency(candidate.id, ctx.id_play, ctx.playback_rate, r_max, params);
+  const double r = rarity(candidate.suppliers, ctx.buffer_capacity, params);
+  return std::max(u, r);
+}
+
+int priority_class(double priority) noexcept {
+  if (priority <= 0.0) return std::numeric_limits<int>::min();
+  return std::ilogb(priority);
+}
+
+}  // namespace gs::core

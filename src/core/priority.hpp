@@ -1,0 +1,58 @@
+// Segment requesting priority (paper eqs. 6-9).
+//
+//   R_i       = max_j R_ij                                   (eq. 6)
+//   t_i       = (id_i - id_play)/p - 1/R_i,  urgency = 1/t_i (eq. 7)
+//   rarity_i  = prod_j (p_ij / B)                            (eq. 8)
+//   priority  = max(urgency_i, rarity_i)                     (eq. 9)
+//
+// The paper argues the buffer-position product (eq. 8) estimates the
+// probability the segment is about to be FIFO-replaced at *all* suppliers,
+// and calls the classical 1/n_i rarity less reasonable; both are provided
+// (the classical one for the ablation bench).
+#pragma once
+
+#include <span>
+
+#include "stream/scheduler.hpp"
+
+namespace gs::core {
+
+struct PriorityParams {
+  /// Upper clamp for urgency; also used when the deadline has passed
+  /// (t_i <= 0 means "needed immediately").
+  double urgency_cap = 1e6;
+  /// Ablation: use the traditional rarity 1/n_i instead of eq. 8.
+  bool traditional_rarity = false;
+  /// Fraction of the per-period request budget reserved for randomized
+  /// fetches of the freshest available segments (segment diversity /
+  /// swarming).  Without it, deadline-ordered pulling concentrates all
+  /// upload load on the peers nearest the source and the mesh cannot
+  /// sustain the playback rate (see bench_ablation_diversity).  Applies
+  /// only outside an active switch; both algorithms share it.
+  double diversity_fraction = 0.25;
+};
+
+/// eq. 6: best advertised sending rate across suppliers (0 if none).
+[[nodiscard]] double max_receive_rate(std::span<const stream::SupplierView> suppliers) noexcept;
+
+/// eq. 7.  `id_play` is the segment currently playing (the paper's
+/// id_play); the shared id space makes this meaningful for both streams.
+[[nodiscard]] double urgency(stream::SegmentId id, stream::SegmentId id_play,
+                             double playback_rate, double max_rate,
+                             const PriorityParams& params) noexcept;
+
+/// eq. 8 (or 1/n when params.traditional_rarity).
+[[nodiscard]] double rarity(std::span<const stream::SupplierView> suppliers,
+                            std::size_t buffer_capacity, const PriorityParams& params) noexcept;
+
+/// eq. 9 for a full candidate under a scheduling context.
+[[nodiscard]] double segment_priority(const stream::CandidateSegment& candidate,
+                                      const stream::ScheduleContext& ctx,
+                                      const PriorityParams& params) noexcept;
+
+/// Quantizes a priority into a factor-of-two class (floor(log2)); segments
+/// in the same class are considered equally important and may be requested
+/// in randomized order (segment diversity).  Monotone in the priority.
+[[nodiscard]] int priority_class(double priority) noexcept;
+
+}  // namespace gs::core

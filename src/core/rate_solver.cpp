@@ -1,0 +1,83 @@
+#include "core/rate_solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace gs::core {
+
+double expected_finish_time(double q1, double q, double p, double i1) {
+  const double tail = q / p;
+  if (q1 <= 0.0) return tail;
+  if (i1 <= 0.0) return std::numeric_limits<double>::infinity();
+  return q1 / i1 + tail;
+}
+
+double expected_prepare_time(double q2, double i2) {
+  if (q2 <= 0.0) return 0.0;
+  if (i2 <= 0.0) return std::numeric_limits<double>::infinity();
+  return q2 / i2;
+}
+
+double optimal_r1(const SplitInput& in) {
+  GS_CHECK_GT(in.q, 0.0);
+  GS_CHECK_GT(in.p, 0.0);
+  GS_CHECK_GT(in.inbound, 0.0);
+  GS_CHECK_GE(in.q1, 0.0);
+  GS_CHECK_GE(in.q2, 0.0);
+  // Quadratic I1^2 + b*I1 - c >= 0 with
+  //   b = p(Q1+Q2)/Q - I,  c = p*I*Q1/Q >= 0.
+  const double b = in.p * (in.q1 + in.q2) / in.q - in.inbound;
+  const double c = in.p * in.inbound * in.q1 / in.q;
+  const double disc = std::sqrt(b * b + 4.0 * c);
+  // r1 = (-b + disc)/2; for b > 0 use the conjugate form to avoid
+  // catastrophic cancellation.
+  const double r1 = b > 0.0 ? (2.0 * c) / (b + disc) : (disc - b) / 2.0;
+  return std::clamp(r1, 0.0, in.inbound);
+}
+
+RateSplit solve_unconstrained(const SplitInput& in) {
+  RateSplit split;
+  split.r1 = optimal_r1(in);
+  split.r2 = in.inbound - split.r1;
+  split.i1 = split.r1;
+  split.i2 = split.r2;
+  split.case_id = 0;
+  return split;
+}
+
+RateSplit solve_capped(const SplitInput& in, double o1, double o2) {
+  GS_CHECK_GE(o1, 0.0);
+  GS_CHECK_GE(o2, 0.0);
+  RateSplit split;
+  split.r1 = optimal_r1(in);
+  split.r2 = in.inbound - split.r1;
+  const bool r1_fits = split.r1 <= o1;
+  const bool r2_fits = split.r2 <= o2;
+  if (r1_fits && r2_fits) {
+    split.case_id = 1;
+    split.i1 = split.r1;
+    split.i2 = split.r2;
+  } else if (r1_fits && !r2_fits) {
+    split.case_id = 2;
+    split.i2 = o2;
+    split.i1 = std::min(o1, in.inbound - o2);
+  } else if (!r1_fits && r2_fits) {
+    split.case_id = 3;
+    split.i1 = o1;
+    split.i2 = std::min(o2, in.inbound - o1);
+  } else {
+    split.case_id = 4;
+    split.i1 = o1;
+    split.i2 = o2;
+  }
+  // Outbound shortage can make I - O2 (cases 2/3) negative; rates are
+  // physically non-negative.
+  split.i1 = std::max(0.0, split.i1);
+  split.i2 = std::max(0.0, split.i2);
+  return split;
+}
+
+}  // namespace gs::core

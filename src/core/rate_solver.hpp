@@ -1,0 +1,58 @@
+// Closed-form inbound rate split (paper §3 and §4).
+//
+// During a switch a node divides its inbound rate I into I1 (old stream,
+// Q1 undelivered segments, with Q/p seconds of playback after the last
+// arrival) and I2 (new stream, Q2 undelivered startup segments).  The paper
+// minimises T2 = Q2/I2 subject to T2 >= T1' = Q1/I1 + Q/p, giving
+//
+//   I1 = r1 = ( I - p(Q1+Q2)/Q + sqrt( (p(Q1+Q2)/Q - I)^2 + 4 p I Q1 / Q ) ) / 2
+//
+// (eq. 4; the other quadratic root is negative).  §4 caps the split by the
+// available outbound rates O1/O2 of the suppliers, yielding four cases.
+#pragma once
+
+namespace gs::core {
+
+/// Inputs in the paper's notation.  All rates in segments/second.
+struct SplitInput {
+  double q1 = 0.0;       ///< Q1: undelivered segments of the old stream
+  double q2 = 0.0;       ///< Q2: undelivered startup segments of the new stream
+  double q = 10.0;       ///< Q: consecutive segments buffered for playback
+  double p = 10.0;       ///< playback rate
+  double inbound = 15.0; ///< I: total inbound rate
+};
+
+/// The chosen split.  `case_id` names the §4 case (1..4) or 0 for the
+/// unconstrained solution.
+struct RateSplit {
+  double i1 = 0.0;
+  double i2 = 0.0;
+  double r1 = 0.0;  ///< unconstrained optimum for reference
+  double r2 = 0.0;
+  int case_id = 0;
+};
+
+/// Expected time to finish the old stream's playback: T1' = Q1/I1 + Q/p.
+/// Returns +inf when i1 == 0 but q1 > 0.
+[[nodiscard]] double expected_finish_time(double q1, double q, double p, double i1);
+
+/// Expected time to gather the new stream's prefix: T2 = Q2/I2.
+/// Returns +inf when i2 == 0 but q2 > 0; 0 when q2 == 0.
+[[nodiscard]] double expected_prepare_time(double q2, double i2);
+
+/// eq. 4, clamped into [0, I].  Requires q > 0, p > 0, inbound > 0 and
+/// q1, q2 >= 0.  Numerically stable for large b (uses the conjugate form).
+[[nodiscard]] double optimal_r1(const SplitInput& in);
+
+/// Unconstrained optimum: I1 = r1, I2 = I - r1 (§3).
+[[nodiscard]] RateSplit solve_unconstrained(const SplitInput& in);
+
+/// Capped solution (§4): O1/O2 are the total outbound rates available for
+/// the old/new stream (segments/second).  Implements the four cases:
+///   1. r1 <= O1, r2 <= O2 -> I1 = r1,             I2 = r2
+///   2. r1 <= O1, r2 >  O2 -> I1 = min(O1, I-O2),  I2 = O2
+///   3. r1 >  O1, r2 <= O2 -> I1 = O1,             I2 = min(O2, I-O1)
+///   4. r1 >  O1, r2 >  O2 -> I1 = O1,             I2 = O2
+[[nodiscard]] RateSplit solve_capped(const SplitInput& in, double o1, double o2);
+
+}  // namespace gs::core

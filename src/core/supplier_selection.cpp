@@ -1,0 +1,47 @@
+#include "core/supplier_selection.hpp"
+
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace gs::core {
+
+std::vector<Assignment> greedy_assign(const stream::ScheduleContext& ctx,
+                                      const std::vector<stream::CandidateSegment>& candidates,
+                                      const std::vector<double>& priorities) {
+  GS_CHECK_EQ(candidates.size(), priorities.size());
+  std::vector<Assignment> accepted;
+  accepted.reserve(candidates.size());
+  // tau(j): local queueing bookkeeping, lazily initialised per supplier.
+  std::unordered_map<net::NodeId, double> queue_time;
+
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const stream::CandidateSegment& c = candidates[i];
+    double best_time = std::numeric_limits<double>::infinity();
+    const stream::SupplierView* best = nullptr;
+    for (const stream::SupplierView& s : c.suppliers) {
+      if (s.send_rate <= 0.0) continue;
+      const double transfer = 1.0 / s.send_rate;
+      auto it = queue_time.find(s.node);
+      const double queued = (it == queue_time.end() ? s.queue_delay : it->second);
+      const double t = queued + transfer;
+      // Paper line 13: accept only suppliers delivering within the period.
+      if (t < best_time && t < ctx.period) {
+        best_time = t;
+        best = &s;
+      }
+    }
+    if (best == nullptr) continue;
+    queue_time[best->node] = best_time;  // paper line 18
+    Assignment a;
+    a.id = c.id;
+    a.supplier = best->node;
+    a.epoch = c.epoch;
+    a.expected_time = best_time;
+    a.priority = priorities[i];
+    accepted.push_back(a);
+  }
+  return accepted;
+}
+
+}  // namespace gs::core

@@ -1,0 +1,87 @@
+#include "experiments/config.hpp"
+
+#include <stdexcept>
+
+namespace gs::exp {
+
+std::string_view to_string(TopologyKind kind) noexcept {
+  switch (kind) {
+    case TopologyKind::kSyntheticTrace:
+      return "synthetic-trace";
+    case TopologyKind::kPreferential:
+      return "preferential";
+    case TopologyKind::kErdosRenyi:
+      return "erdos-renyi";
+    case TopologyKind::kWattsStrogatz:
+      return "watts-strogatz";
+    case TopologyKind::kRing:
+      return "ring";
+    case TopologyKind::kTraceFile:
+      return "trace-file";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(AlgorithmKind kind) noexcept {
+  switch (kind) {
+    case AlgorithmKind::kFast:
+      return "fast";
+    case AlgorithmKind::kNormal:
+      return "normal";
+  }
+  return "unknown";
+}
+
+AlgorithmKind algorithm_from_string(std::string_view name) {
+  if (name == "fast") return AlgorithmKind::kFast;
+  if (name == "normal") return AlgorithmKind::kNormal;
+  throw std::invalid_argument("unknown algorithm: " + std::string(name));
+}
+
+TopologyKind topology_from_string(std::string_view name) {
+  if (name == "synthetic-trace") return TopologyKind::kSyntheticTrace;
+  if (name == "preferential") return TopologyKind::kPreferential;
+  if (name == "erdos-renyi") return TopologyKind::kErdosRenyi;
+  if (name == "watts-strogatz") return TopologyKind::kWattsStrogatz;
+  if (name == "ring") return TopologyKind::kRing;
+  if (name == "trace-file") return TopologyKind::kTraceFile;
+  throw std::invalid_argument("unknown topology: " + std::string(name));
+}
+
+void Config::validate() const {
+  if (node_count < 3) throw std::invalid_argument("node_count must be >= 3");
+  if (switch_times.empty()) throw std::invalid_argument("at least one switch required");
+  for (std::size_t i = 1; i < switch_times.size(); ++i) {
+    if (switch_times[i - 1] >= switch_times[i]) {
+      throw std::invalid_argument("switch_times must be strictly increasing");
+    }
+  }
+  if (source_count() >= node_count) throw std::invalid_argument("more sources than nodes");
+  if (neighbor_target == 0 || neighbor_target >= node_count) {
+    throw std::invalid_argument("neighbor_target must be in [1, node_count)");
+  }
+  if (topology == TopologyKind::kTraceFile && trace_path.empty()) {
+    throw std::invalid_argument("trace_path required for kTraceFile");
+  }
+  if (engine.warmup <= 0.0) throw std::invalid_argument("warmup must be positive");
+  if (switch_times.front() < 0.0) {
+    throw std::invalid_argument("first switch must be at t >= 0 (warm-up is t < 0)");
+  }
+}
+
+Config Config::paper_static(std::size_t node_count, AlgorithmKind algorithm, std::uint64_t seed) {
+  Config config;
+  config.node_count = node_count;
+  config.algorithm = algorithm;
+  config.seed = seed;
+  config.engine.seed = seed;
+  return config;
+}
+
+Config Config::paper_dynamic(std::size_t node_count, AlgorithmKind algorithm, std::uint64_t seed) {
+  Config config = paper_static(node_count, algorithm, seed);
+  config.enable_churn(0.05);
+  return config;
+}
+
+}  // namespace gs::exp

@@ -1,0 +1,105 @@
+#include "experiments/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/csv.hpp"
+
+namespace gs::exp {
+namespace {
+
+void print_header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/// Looks up the track point nearest to `time` (tracks are sampled per
+/// period, but completion can end them early).
+double track_value_at(const std::vector<stream::TrackPoint>& track, double time, bool delivered) {
+  if (track.empty()) return delivered ? 1.0 : 0.0;
+  const stream::TrackPoint* best = &track.front();
+  for (const auto& point : track) {
+    if (std::abs(point.time - time) < std::abs(best->time - time)) best = &point;
+  }
+  if (time > track.back().time + 0.5) {
+    // Past the recorded window: the switch completed.
+    return delivered ? 1.0 : 0.0;
+  }
+  return delivered ? best->delivered_ratio_s2 : best->undelivered_ratio_s1;
+}
+
+}  // namespace
+
+void print_ratio_tracks(const std::string& title, const stream::SwitchMetrics& fast,
+                        const stream::SwitchMetrics& normal) {
+  print_header(title);
+  const double end = std::max(fast.track.empty() ? 0.0 : fast.track.back().time,
+                              normal.track.empty() ? 0.0 : normal.track.back().time);
+  std::printf("%8s  %18s  %18s  %18s  %18s\n", "time(s)", "undeliv_S1(norm)",
+              "undeliv_S1(fast)", "deliv_S2(norm)", "deliv_S2(fast)");
+  for (double t = 0.0; t <= end + 0.5; t += 1.0) {
+    std::printf("%8.1f  %18.4f  %18.4f  %18.4f  %18.4f\n", t,
+                track_value_at(normal.track, t, false), track_value_at(fast.track, t, false),
+                track_value_at(normal.track, t, true), track_value_at(fast.track, t, true));
+  }
+}
+
+void print_times_table(const std::string& title, const std::vector<ComparisonPoint>& points) {
+  print_header(title);
+  std::printf("%8s  %18s  %18s  %18s  %18s\n", "nodes", "finish_S1(norm)", "finish_S1(fast)",
+              "prepare_S2(fast)", "prepare_S2(norm)");
+  for (const auto& p : points) {
+    std::printf("%8zu  %18.2f  %18.2f  %18.2f  %18.2f\n", p.node_count, p.normal_finish_time,
+                p.fast_finish_time, p.fast_switch_time, p.normal_switch_time);
+  }
+}
+
+void print_switch_reduction(const std::string& title,
+                            const std::vector<ComparisonPoint>& points) {
+  print_header(title);
+  std::printf("%8s  %20s  %20s  %12s\n", "nodes", "switch_time(normal)", "switch_time(fast)",
+              "reduction");
+  for (const auto& p : points) {
+    std::printf("%8zu  %14.2f±%4.2f  %14.2f±%4.2f  %12.3f\n", p.node_count,
+                p.normal_switch_time, p.normal_switch_ci, p.fast_switch_time, p.fast_switch_ci,
+                p.reduction());
+  }
+}
+
+void print_overhead(const std::string& title, const std::vector<ComparisonPoint>& points) {
+  print_header(title);
+  std::printf("%8s  %18s  %18s\n", "nodes", "overhead(fast)", "overhead(normal)");
+  for (const auto& p : points) {
+    std::printf("%8zu  %18.5f  %18.5f\n", p.node_count, p.fast_overhead, p.normal_overhead);
+  }
+}
+
+void write_comparison_csv(const std::string& path, const std::vector<ComparisonPoint>& points) {
+  util::CsvWriter csv(path);
+  csv.write_row({"nodes", "trials", "normal_switch_time", "fast_switch_time",
+                 "normal_finish_time", "fast_finish_time", "normal_overhead", "fast_overhead",
+                 "reduction"});
+  for (const auto& p : points) {
+    csv.write_row({std::to_string(p.node_count), std::to_string(p.trials),
+                   std::to_string(p.normal_switch_time), std::to_string(p.fast_switch_time),
+                   std::to_string(p.normal_finish_time), std::to_string(p.fast_finish_time),
+                   std::to_string(p.normal_overhead), std::to_string(p.fast_overhead),
+                   std::to_string(p.reduction())});
+  }
+}
+
+void write_tracks_csv(const std::string& path, const stream::SwitchMetrics& fast,
+                      const stream::SwitchMetrics& normal) {
+  util::CsvWriter csv(path);
+  csv.write_row({"time", "undelivered_s1_normal", "undelivered_s1_fast", "delivered_s2_normal",
+                 "delivered_s2_fast"});
+  const double end = std::max(fast.track.empty() ? 0.0 : fast.track.back().time,
+                              normal.track.empty() ? 0.0 : normal.track.back().time);
+  for (double t = 0.0; t <= end + 0.5; t += 1.0) {
+    csv.write_row({std::to_string(t), std::to_string(track_value_at(normal.track, t, false)),
+                   std::to_string(track_value_at(fast.track, t, false)),
+                   std::to_string(track_value_at(normal.track, t, true)),
+                   std::to_string(track_value_at(fast.track, t, true))});
+  }
+}
+
+}  // namespace gs::exp

@@ -1,0 +1,71 @@
+#include "gossip/buffer_map.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace gs::gossip {
+
+BufferMap::BufferMap(SegmentId base, std::size_t window_bits) : base_(base), bits_(window_bits) {
+  GS_CHECK_GE(base, 0);
+}
+
+bool BufferMap::in_window(SegmentId id) const noexcept {
+  return id >= base_ && id < base_ + static_cast<SegmentId>(bits_.size());
+}
+
+void BufferMap::mark(SegmentId id) {
+  if (!in_window(id)) return;
+  bits_.set(static_cast<std::size_t>(id - base_));
+}
+
+bool BufferMap::available(SegmentId id) const noexcept {
+  if (!in_window(id)) return false;
+  return bits_.test(static_cast<std::size_t>(id - base_));
+}
+
+std::optional<SegmentId> BufferMap::first_available(SegmentId from) const noexcept {
+  const SegmentId clamped = from < base_ ? base_ : from;
+  if (clamped >= base_ + static_cast<SegmentId>(bits_.size())) return std::nullopt;
+  const std::size_t pos = bits_.find_first(static_cast<std::size_t>(clamped - base_));
+  if (pos == bits_.size()) return std::nullopt;
+  return base_ + static_cast<SegmentId>(pos);
+}
+
+std::vector<std::uint8_t> BufferMap::encode() const {
+  const auto truncated = static_cast<std::uint32_t>(base_ & ((1u << kBaseIdBits) - 1));
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(3 + (bits_.size() + 7) / 8);
+  bytes.push_back(static_cast<std::uint8_t>(truncated));
+  bytes.push_back(static_cast<std::uint8_t>(truncated >> 8));
+  bytes.push_back(static_cast<std::uint8_t>(truncated >> 16));
+  const auto bitmap = bits_.to_bytes();
+  bytes.insert(bytes.end(), bitmap.begin(), bitmap.end());
+  return bytes;
+}
+
+BufferMap BufferMap::decode(const std::vector<std::uint8_t>& bytes, std::size_t window_bits,
+                            SegmentId base_hint) {
+  GS_CHECK_GE(bytes.size(), 3u);
+  const std::uint32_t truncated = static_cast<std::uint32_t>(bytes[0]) |
+                                  (static_cast<std::uint32_t>(bytes[1]) << 8) |
+                                  (static_cast<std::uint32_t>(bytes[2]) << 16);
+  constexpr SegmentId kModulus = SegmentId{1} << kBaseIdBits;
+  // Reconstruct the base nearest to the hint with matching low 20 bits.
+  const SegmentId hint_block = base_hint >= 0 ? base_hint / kModulus : 0;
+  SegmentId best = kNoSegment;
+  for (SegmentId block = hint_block == 0 ? 0 : hint_block - 1; block <= hint_block + 1; ++block) {
+    const SegmentId candidate = block * kModulus + static_cast<SegmentId>(truncated & (kModulus - 1));
+    if (candidate < 0) continue;
+    if (best == kNoSegment ||
+        std::abs(candidate - base_hint) < std::abs(best - base_hint)) {
+      best = candidate;
+    }
+  }
+  BufferMap map(best, window_bits);
+  const std::vector<std::uint8_t> bitmap(bytes.begin() + 3, bytes.end());
+  map.bits_ = util::DynamicBitset::from_bytes(bitmap, window_bits);
+  return map;
+}
+
+}  // namespace gs::gossip

@@ -1,0 +1,69 @@
+// Buffer-availability map: the per-neighbour data structure exchanged every
+// scheduling period in pull-based gossip streaming.
+//
+// Wire format follows the paper's overhead accounting exactly (§5.3): the id
+// of the first segment in the buffer takes 20 bits (a source emits at most
+// 10*3600*24 = 864000 < 2^20 segments per day) and availability of the B=600
+// buffer slots takes B bits, i.e. 620 bits per exchange for the defaults.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/bitset.hpp"
+
+namespace gs::gossip {
+
+/// Global segment sequence number.  S2 continues S1's numbering
+/// (id_begin = id_end + 1), so one id space serves all sessions.
+using SegmentId = std::int64_t;
+
+/// Sentinel for "no segment".
+inline constexpr SegmentId kNoSegment = -1;
+
+class BufferMap {
+ public:
+  BufferMap() = default;
+  /// An empty map covering `window_bits` slots starting at `base`.
+  BufferMap(SegmentId base, std::size_t window_bits);
+
+  [[nodiscard]] SegmentId base() const noexcept { return base_; }
+  [[nodiscard]] std::size_t window() const noexcept { return bits_.size(); }
+
+  /// True if `id` falls inside [base, base + window).
+  [[nodiscard]] bool in_window(SegmentId id) const noexcept;
+
+  /// Marks `id` available; ignores ids outside the window.
+  void mark(SegmentId id);
+  /// Availability of `id`; false outside the window.
+  [[nodiscard]] bool available(SegmentId id) const noexcept;
+
+  [[nodiscard]] std::size_t available_count() const noexcept { return bits_.count(); }
+
+  /// First available id at or after `from`; nullopt if none in window.
+  [[nodiscard]] std::optional<SegmentId> first_available(SegmentId from) const noexcept;
+
+  /// Wire size in bits: 20 (base id) + window bits.
+  [[nodiscard]] std::size_t wire_bits() const noexcept { return kBaseIdBits + bits_.size(); }
+
+  /// Serializes to bytes: 3-byte little-endian truncated base id (20 bits
+  /// zero-padded to 24) followed by the packed bitmap.
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  /// Decodes `encode()` output; `window_bits` must match the encoder's.
+  /// `base_hint` disambiguates the 20-bit truncated base (the decoder picks
+  /// the base congruent mod 2^20 nearest to the hint, as a real client
+  /// tracking the stream would).
+  [[nodiscard]] static BufferMap decode(const std::vector<std::uint8_t>& bytes,
+                                        std::size_t window_bits, SegmentId base_hint);
+
+  [[nodiscard]] bool operator==(const BufferMap& other) const noexcept = default;
+
+  static constexpr std::size_t kBaseIdBits = 20;
+
+ private:
+  SegmentId base_ = 0;
+  util::DynamicBitset bits_;
+};
+
+}  // namespace gs::gossip

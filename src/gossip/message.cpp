@@ -1,0 +1,12 @@
+#include "gossip/message.hpp"
+
+// Header-only definitions; this translation unit exists so the target has a
+// stable archive member and the header stays checked by the compiler even
+// when nothing else includes it yet.
+namespace gs::gossip {
+
+static_assert(paper_wire_format().buffer_map_bits() == 620,
+              "paper accounting (S5.3): 20-bit base id + 600-bit window");
+static_assert(paper_wire_format().data_bits() == 30720, "30 Kb segments");
+
+}  // namespace gs::gossip

@@ -1,0 +1,51 @@
+// Message catalogue with bit-accurate wire sizes.
+//
+// The simulator does not serialize real packets between in-process peers —
+// it charges each exchange its wire size so the communication-overhead
+// metric (§5.3 of the paper: control bits / data bits) is exact.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "gossip/buffer_map.hpp"
+
+namespace gs::gossip {
+
+/// Message kinds that cross the overlay.
+enum class MessageKind : std::uint8_t {
+  kBufferMap,   ///< periodic availability exchange (control)
+  kRequest,     ///< segment pull request (control)
+  kData,        ///< segment payload (data)
+  kMembership,  ///< join/leave/repair traffic (control, not in paper's ratio)
+};
+
+/// Wire-size model, configurable so ablations can change segment size or
+/// buffer depth without touching accounting call sites.
+struct WireFormat {
+  std::size_t buffer_window_bits = 600;   ///< B slots in the availability map
+  std::size_t base_id_bits = BufferMap::kBaseIdBits;  ///< 20 bits (§5.3)
+  std::size_t request_id_bits = BufferMap::kBaseIdBits;  ///< one id per requested segment
+  std::size_t segment_payload_bits = 30 * 1024;  ///< 30 Kb per segment (§5.1)
+  std::size_t membership_record_bits = 48;  ///< ip+port of one peer
+
+  /// Bits of one buffer-map exchange: base id + window bitmap.
+  [[nodiscard]] constexpr std::size_t buffer_map_bits() const noexcept {
+    return base_id_bits + buffer_window_bits;
+  }
+  /// Bits of a pull request for `segment_count` segments.
+  [[nodiscard]] constexpr std::size_t request_bits(std::size_t segment_count) const noexcept {
+    return request_id_bits * segment_count;
+  }
+  /// Bits of one data segment on the wire.
+  [[nodiscard]] constexpr std::size_t data_bits() const noexcept { return segment_payload_bits; }
+  /// Bits of a membership message carrying `records` peer records.
+  [[nodiscard]] constexpr std::size_t membership_bits(std::size_t records) const noexcept {
+    return membership_record_bits * records;
+  }
+};
+
+/// Paper defaults: 620-bit maps, 30 Kb segments.
+[[nodiscard]] constexpr WireFormat paper_wire_format() noexcept { return WireFormat{}; }
+
+}  // namespace gs::gossip

@@ -1,0 +1,44 @@
+#include "gossip/overhead.hpp"
+
+namespace gs::gossip {
+
+void OverheadAccountant::charge_buffer_map_exchange() noexcept {
+  if (!enabled_) return;
+  buffer_map_bits_ += wire_.buffer_map_bits();
+}
+
+void OverheadAccountant::charge_request(std::size_t segment_count) noexcept {
+  if (!enabled_) return;
+  request_bits_ += wire_.request_bits(segment_count);
+}
+
+void OverheadAccountant::charge_data_segment() noexcept {
+  if (!enabled_) return;
+  data_bits_ += wire_.data_bits();
+  ++data_segments_;
+}
+
+void OverheadAccountant::charge_membership(std::size_t records) noexcept {
+  if (!enabled_) return;
+  membership_bits_ += wire_.membership_bits(records);
+}
+
+double OverheadAccountant::overhead_ratio() const noexcept {
+  if (data_bits_ == 0) return 0.0;
+  return static_cast<double>(buffer_map_bits_) / static_cast<double>(data_bits_);
+}
+
+double OverheadAccountant::control_ratio() const noexcept {
+  if (data_bits_ == 0) return 0.0;
+  return static_cast<double>(buffer_map_bits_ + request_bits_) / static_cast<double>(data_bits_);
+}
+
+void OverheadAccountant::reset() noexcept {
+  buffer_map_bits_ = 0;
+  request_bits_ = 0;
+  data_bits_ = 0;
+  membership_bits_ = 0;
+  data_segments_ = 0;
+}
+
+}  // namespace gs::gossip

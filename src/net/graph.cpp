@@ -1,0 +1,121 @@
+#include "net/graph.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "util/check.hpp"
+
+namespace gs::net {
+
+void Graph::check_node(NodeId v) const { GS_CHECK_LT(v, adjacency_.size()); }
+
+NodeId Graph::add_node() {
+  adjacency_.emplace_back();
+  return static_cast<NodeId>(adjacency_.size() - 1);
+}
+
+bool Graph::add_edge(NodeId u, NodeId v) {
+  check_node(u);
+  check_node(v);
+  if (u == v) return false;
+  auto& nu = adjacency_[u];
+  const auto it = std::lower_bound(nu.begin(), nu.end(), v);
+  if (it != nu.end() && *it == v) return false;
+  nu.insert(it, v);
+  auto& nv = adjacency_[v];
+  nv.insert(std::lower_bound(nv.begin(), nv.end(), u), u);
+  ++edge_count_;
+  return true;
+}
+
+bool Graph::remove_edge(NodeId u, NodeId v) {
+  check_node(u);
+  check_node(v);
+  auto& nu = adjacency_[u];
+  const auto it = std::lower_bound(nu.begin(), nu.end(), v);
+  if (it == nu.end() || *it != v) return false;
+  nu.erase(it);
+  auto& nv = adjacency_[v];
+  nv.erase(std::lower_bound(nv.begin(), nv.end(), u));
+  --edge_count_;
+  return true;
+}
+
+void Graph::isolate(NodeId v) {
+  check_node(v);
+  // Copy: remove_edge mutates adjacency_[v].
+  const std::vector<NodeId> neighbors_copy = adjacency_[v];
+  for (NodeId u : neighbors_copy) remove_edge(v, u);
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  check_node(u);
+  check_node(v);
+  const auto& nu = adjacency_[u];
+  return std::binary_search(nu.begin(), nu.end(), v);
+}
+
+std::span<const NodeId> Graph::neighbors(NodeId v) const {
+  check_node(v);
+  return adjacency_[v];
+}
+
+std::size_t Graph::degree(NodeId v) const {
+  check_node(v);
+  return adjacency_[v].size();
+}
+
+std::size_t Graph::min_degree(std::span<const NodeId> nodes) const {
+  std::size_t lo = std::numeric_limits<std::size_t>::max();
+  for (NodeId v : nodes) lo = std::min(lo, degree(v));
+  return nodes.empty() ? 0 : lo;
+}
+
+bool Graph::connected(std::span<const NodeId> nodes) const {
+  if (nodes.empty()) return true;
+  std::vector<char> in_set(adjacency_.size(), 0);
+  for (NodeId v : nodes) {
+    check_node(v);
+    in_set[v] = 1;
+  }
+  std::vector<char> seen(adjacency_.size(), 0);
+  std::queue<NodeId> frontier;
+  frontier.push(nodes.front());
+  seen[nodes.front()] = 1;
+  std::size_t reached = 0;
+  while (!frontier.empty()) {
+    const NodeId v = frontier.front();
+    frontier.pop();
+    ++reached;
+    for (NodeId u : adjacency_[v]) {
+      if (in_set[u] && !seen[u]) {
+        seen[u] = 1;
+        frontier.push(u);
+      }
+    }
+  }
+  return reached == nodes.size();
+}
+
+std::vector<std::size_t> Graph::bfs_hops(NodeId origin) const {
+  check_node(origin);
+  constexpr auto kUnreached = std::numeric_limits<std::size_t>::max();
+  std::vector<std::size_t> hops(adjacency_.size(), kUnreached);
+  std::queue<NodeId> frontier;
+  hops[origin] = 0;
+  frontier.push(origin);
+  while (!frontier.empty()) {
+    const NodeId v = frontier.front();
+    frontier.pop();
+    for (NodeId u : adjacency_[v]) {
+      if (hops[u] == kUnreached) {
+        hops[u] = hops[v] + 1;
+        frontier.push(u);
+      }
+    }
+  }
+  return hops;
+}
+
+}  // namespace gs::net

@@ -1,0 +1,20 @@
+#include "net/latency.hpp"
+
+#include "util/check.hpp"
+
+namespace gs::net {
+
+double LatencyModel::ping_ms(NodeId v) const {
+  GS_CHECK_LT(v, ping_ms_.size());
+  return ping_ms_[v];
+}
+
+double LatencyModel::link_delay_s(NodeId u, NodeId v) const {
+  return (ping_ms(u) + ping_ms(v)) / 4.0 / 1000.0;
+}
+
+double LatencyModel::jittered_delay_s(NodeId u, NodeId v, util::Rng& rng) const {
+  return link_delay_s(u, v) * rng.uniform(0.8, 1.2);
+}
+
+}  // namespace gs::net

@@ -1,0 +1,177 @@
+#include "net/topology.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace gs::net {
+
+Graph preferential_attachment(std::size_t node_count, std::size_t attach, util::Rng& rng) {
+  GS_CHECK_GE(node_count, 2u);
+  GS_CHECK_GE(attach, 1u);
+  Graph graph(node_count);
+  // Repeated-endpoint list: sampling an index uniformly from `endpoints`
+  // is sampling a node proportionally to its degree.
+  std::vector<NodeId> endpoints;
+  endpoints.reserve(node_count * attach * 2);
+  graph.add_edge(0, 1);
+  endpoints.push_back(0);
+  endpoints.push_back(1);
+  for (NodeId v = 2; v < node_count; ++v) {
+    const std::size_t links = std::min<std::size_t>(attach, v);
+    std::size_t made = 0;
+    std::size_t attempts = 0;
+    while (made < links && attempts < links * 20) {
+      ++attempts;
+      const auto pick = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(endpoints.size()) - 1));
+      const NodeId target = endpoints[pick];
+      if (graph.add_edge(v, target)) {
+        endpoints.push_back(v);
+        endpoints.push_back(target);
+        ++made;
+      }
+    }
+    // Degenerate fallback (tiny graphs): attach to the lowest-id node not
+    // yet adjacent, so the generator never emits an isolated node.
+    if (made == 0) {
+      for (NodeId u = 0; u < v; ++u) {
+        if (graph.add_edge(v, u)) {
+          endpoints.push_back(v);
+          endpoints.push_back(u);
+          break;
+        }
+      }
+    }
+  }
+  return graph;
+}
+
+Graph erdos_renyi(std::size_t node_count, std::size_t edge_count, util::Rng& rng) {
+  GS_CHECK_GE(node_count, 2u);
+  const std::size_t max_edges = node_count * (node_count - 1) / 2;
+  GS_CHECK_LE(edge_count, max_edges);
+  Graph graph(node_count);
+  while (graph.edge_count() < edge_count) {
+    const auto u = static_cast<NodeId>(rng.uniform_int(0, static_cast<std::int64_t>(node_count) - 1));
+    const auto v = static_cast<NodeId>(rng.uniform_int(0, static_cast<std::int64_t>(node_count) - 1));
+    graph.add_edge(u, v);
+  }
+  return graph;
+}
+
+Graph watts_strogatz(std::size_t node_count, std::size_t k, double beta, util::Rng& rng) {
+  GS_CHECK_GE(node_count, 2u * k + 1);
+  GS_CHECK_GE(k, 1u);
+  Graph graph(node_count);
+  for (NodeId v = 0; v < node_count; ++v) {
+    for (std::size_t j = 1; j <= k; ++j) {
+      graph.add_edge(v, static_cast<NodeId>((v + j) % node_count));
+    }
+  }
+  // Rewire each lattice edge (v, v+j) with probability beta.
+  for (NodeId v = 0; v < node_count; ++v) {
+    for (std::size_t j = 1; j <= k; ++j) {
+      if (!rng.bernoulli(beta)) continue;
+      const auto old_target = static_cast<NodeId>((v + j) % node_count);
+      if (!graph.has_edge(v, old_target)) continue;  // already rewired away
+      for (std::size_t attempt = 0; attempt < 20; ++attempt) {
+        const auto fresh = static_cast<NodeId>(
+            rng.uniform_int(0, static_cast<std::int64_t>(node_count) - 1));
+        if (fresh == v || graph.has_edge(v, fresh)) continue;
+        graph.remove_edge(v, old_target);
+        graph.add_edge(v, fresh);
+        break;
+      }
+    }
+  }
+  return graph;
+}
+
+Graph ring_with_chords(std::size_t node_count, std::size_t extra, util::Rng& rng) {
+  GS_CHECK_GE(node_count, 3u);
+  Graph graph(node_count);
+  for (NodeId v = 0; v < node_count; ++v) {
+    graph.add_edge(v, static_cast<NodeId>((v + 1) % node_count));
+  }
+  std::size_t added = 0;
+  std::size_t attempts = 0;
+  while (added < extra && attempts < extra * 50 + 100) {
+    ++attempts;
+    const auto u = static_cast<NodeId>(rng.uniform_int(0, static_cast<std::int64_t>(node_count) - 1));
+    const auto v = static_cast<NodeId>(rng.uniform_int(0, static_cast<std::int64_t>(node_count) - 1));
+    if (graph.add_edge(u, v)) ++added;
+  }
+  return graph;
+}
+
+std::size_t connect_components(Graph& graph, util::Rng& rng) {
+  const std::size_t n = graph.node_count();
+  if (n == 0) return 0;
+  std::size_t added = 0;
+  for (;;) {
+    const auto hops = graph.bfs_hops(0);
+    std::vector<NodeId> unreached;
+    for (NodeId v = 0; v < n; ++v) {
+      if (hops[v] == std::numeric_limits<std::size_t>::max()) unreached.push_back(v);
+    }
+    if (unreached.empty()) return added;
+    // Link a random unreached node to a random reached node.
+    std::vector<NodeId> reached;
+    reached.reserve(n - unreached.size());
+    for (NodeId v = 0; v < n; ++v) {
+      if (hops[v] != std::numeric_limits<std::size_t>::max()) reached.push_back(v);
+    }
+    const NodeId u = unreached[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(unreached.size()) - 1))];
+    const NodeId w = reached[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(reached.size()) - 1))];
+    if (graph.add_edge(u, w)) ++added;
+  }
+}
+
+std::size_t repair_min_degree(Graph& graph, std::size_t m, util::Rng& rng) {
+  const std::size_t n = graph.node_count();
+  GS_CHECK_GT(n, m);
+  std::size_t added = connect_components(graph, rng);
+  // Round-robin over deficient nodes, pairing each with a random partner.
+  // Pairing two deficient nodes when possible keeps the added edge count
+  // near the lower bound.
+  for (;;) {
+    std::vector<NodeId> deficient;
+    for (NodeId v = 0; v < n; ++v) {
+      if (graph.degree(v) < m) deficient.push_back(v);
+    }
+    if (deficient.empty()) return added;
+    rng.shuffle(deficient);
+    bool progressed = false;
+    for (NodeId v : deficient) {
+      if (graph.degree(v) >= m) continue;
+      // Prefer another deficient partner; fall back to any random node.
+      NodeId partner = v;
+      for (std::size_t attempt = 0; attempt < 50; ++attempt) {
+        const NodeId candidate =
+            attempt < 25 && deficient.size() > 1
+                ? deficient[static_cast<std::size_t>(
+                      rng.uniform_int(0, static_cast<std::int64_t>(deficient.size()) - 1))]
+                : static_cast<NodeId>(rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+        if (candidate != v && !graph.has_edge(v, candidate)) {
+          partner = candidate;
+          break;
+        }
+      }
+      if (partner != v && graph.add_edge(v, partner)) {
+        ++added;
+        progressed = true;
+      }
+    }
+    // Dense corner case: a node adjacent to everyone else can never reach
+    // degree m > n-1; the GS_CHECK above excludes it, but guard against a
+    // pathological stall anyway.
+    if (!progressed) return added;
+  }
+}
+
+}  // namespace gs::net

@@ -1,0 +1,43 @@
+// Overlay topology generators and the paper's degree-repair step.
+//
+// The paper evaluates on Gnutella crawl snapshots whose average degree is
+// "too small for media streaming" and repairs them by adding random edges
+// until every node holds M=5 connected neighbours.  The generators here
+// produce the pre-repair graphs; repair_min_degree implements the paper's
+// augmentation verbatim.
+#pragma once
+
+#include <cstdint>
+
+#include "net/graph.hpp"
+#include "util/rng.hpp"
+
+namespace gs::net {
+
+/// Barabási-Albert preferential attachment: each new node attaches to
+/// `attach` existing nodes chosen proportionally to degree.  Produces the
+/// power-law degree skew observed in Gnutella crawls.
+[[nodiscard]] Graph preferential_attachment(std::size_t node_count, std::size_t attach,
+                                            util::Rng& rng);
+
+/// Erdős-Rényi G(n, m): `edge_count` distinct random edges.
+[[nodiscard]] Graph erdos_renyi(std::size_t node_count, std::size_t edge_count, util::Rng& rng);
+
+/// Watts-Strogatz small world: ring lattice with `k` nearest neighbours per
+/// side rewired with probability `beta`.
+[[nodiscard]] Graph watts_strogatz(std::size_t node_count, std::size_t k, double beta,
+                                   util::Rng& rng);
+
+/// Ring plus `extra` random chords; the minimal connected baseline.
+[[nodiscard]] Graph ring_with_chords(std::size_t node_count, std::size_t extra, util::Rng& rng);
+
+/// The paper's repair: add random edges until min degree >= m.  Also links
+/// disconnected components so the overlay is usable for streaming.
+/// Returns the number of edges added.
+std::size_t repair_min_degree(Graph& graph, std::size_t m, util::Rng& rng);
+
+/// Adds the fewest random inter-component edges needed to connect all nodes.
+/// Returns the number of edges added.
+std::size_t connect_components(Graph& graph, util::Rng& rng);
+
+}  // namespace gs::net

@@ -1,0 +1,81 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace gs::sim {
+
+EventId EventQueue::schedule(Time at, std::function<void()> action) {
+  const EventId id = next_id_++;
+  heap_.push_back(Entry{at, id, std::move(action)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  ++live_;
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (id == 0 || id >= next_id_) return false;
+  // Lazy deletion: mark and skip at pop time.  A second cancel of the same
+  // id must fail, as must cancelling an event that already ran; both are
+  // detected by the insert result and the live counter bookkeeping.
+  const bool inserted = cancelled_.insert(id).second;
+  if (!inserted) return false;
+  // The id might belong to an event that already fired; verify it is still
+  // in the heap.  Linear scan is fine: cancels are rare (churn only).
+  const bool pending = std::any_of(heap_.begin(), heap_.end(),
+                                   [id](const Entry& e) { return e.id == id; });
+  if (!pending) {
+    cancelled_.erase(id);
+    return false;
+  }
+  GS_CHECK_GT(live_, 0u);
+  --live_;
+  return true;
+}
+
+bool EventQueue::empty() const noexcept { return live_ == 0; }
+
+std::size_t EventQueue::size() const noexcept { return live_; }
+
+void EventQueue::skip_cancelled() {
+  while (!heap_.empty()) {
+    const auto it = cancelled_.find(heap_.front().id);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
+  }
+}
+
+Time EventQueue::next_time() const {
+  GS_CHECK(!empty());
+  // skip_cancelled() is non-const; emulate by scanning from the top.  The
+  // head is guaranteed live after pop_and_run/schedule maintain the heap,
+  // but cancels may leave dead entries at the top, so do the cleanup here
+  // via const_cast (logical constness: observable state is unchanged).
+  auto* self = const_cast<EventQueue*>(this);
+  self->skip_cancelled();
+  GS_CHECK(!heap_.empty());
+  return heap_.front().at;
+}
+
+Time EventQueue::pop_and_run() {
+  GS_CHECK(!empty());
+  skip_cancelled();
+  GS_CHECK(!heap_.empty());
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Entry entry = std::move(heap_.back());
+  heap_.pop_back();
+  --live_;
+  entry.action();
+  return entry.at;
+}
+
+void EventQueue::clear() noexcept {
+  heap_.clear();
+  cancelled_.clear();
+  live_ = 0;
+}
+
+}  // namespace gs::sim

@@ -1,0 +1,67 @@
+// Pending-event set for the discrete-event simulator.
+//
+// A binary heap keyed by (time, sequence): the sequence number makes
+// same-time events fire in insertion order, which keeps runs bit-for-bit
+// reproducible regardless of heap internals.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+namespace gs::sim {
+
+/// Simulation time in seconds.
+using Time = double;
+
+/// Identifies a scheduled event for cancellation.
+using EventId = std::uint64_t;
+
+class EventQueue {
+ public:
+  /// Schedules `action` at absolute time `at`.  Returns an id usable with
+  /// cancel().  `at` may equal the current head time; ties fire in
+  /// scheduling order.
+  EventId schedule(Time at, std::function<void()> action);
+
+  /// Cancels a pending event.  Returns false if the event already fired,
+  /// was already cancelled, or never existed.
+  bool cancel(EventId id);
+
+  [[nodiscard]] bool empty() const noexcept;
+  [[nodiscard]] std::size_t size() const noexcept;
+
+  /// Time of the earliest pending event; requires !empty().
+  [[nodiscard]] Time next_time() const;
+
+  /// Pops and runs the earliest pending event; requires !empty().
+  /// Returns the time of the event that ran.
+  Time pop_and_run();
+
+  /// Drops all pending events.
+  void clear() noexcept;
+
+ private:
+  struct Entry {
+    Time at;
+    EventId id;
+    std::function<void()> action;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.id > b.id;
+    }
+  };
+
+  /// Removes cancelled entries sitting at the heap top.
+  void skip_cancelled();
+
+  std::vector<Entry> heap_;
+  std::unordered_set<EventId> cancelled_;
+  EventId next_id_ = 1;
+  std::size_t live_ = 0;
+};
+
+}  // namespace gs::sim

@@ -1,0 +1,37 @@
+#include "sim/periodic.hpp"
+
+#include "util/check.hpp"
+
+namespace gs::sim {
+
+PeriodicTask::PeriodicTask(Simulator& sim, Time start, Time period,
+                           std::function<void(Time)> action)
+    : sim_(sim), period_(period), action_(std::move(action)), state_(std::make_shared<State>()) {
+  GS_CHECK_GT(period, 0.0);
+  arm(start);
+}
+
+PeriodicTask::~PeriodicTask() { cancel(); }
+
+void PeriodicTask::cancel() {
+  if (!state_ || !state_->active) return;
+  state_->active = false;
+  if (pending_ != 0) {
+    sim_.cancel(pending_);
+    pending_ = 0;
+  }
+}
+
+void PeriodicTask::arm(Time when) {
+  // The shared state keeps the fired lambda safe if the task is destroyed
+  // between scheduling and firing (the event then no-ops).
+  std::shared_ptr<State> state = state_;
+  pending_ = sim_.at(when, [this, state, when] {
+    if (!state->active) return;
+    pending_ = 0;
+    action_(when);
+    if (state->active) arm(when + period_);
+  });
+}
+
+}  // namespace gs::sim

@@ -1,0 +1,46 @@
+// Periodic task helper: re-arms a callback every `period` seconds.
+//
+// Used for per-node scheduling ticks (τ = 1 s in the paper) and the churn
+// process.  Cancellation is needed when a node leaves the overlay.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "sim/simulator.hpp"
+
+namespace gs::sim {
+
+/// Owns a repeating event.  Destroying or cancel()ing the task stops the
+/// repetition; the callback is never invoked afterwards.
+class PeriodicTask {
+ public:
+  /// Schedules `action` at start, start+period, start+2*period, ...
+  /// `start` is absolute; must be >= sim.now().
+  PeriodicTask(Simulator& sim, Time start, Time period, std::function<void(Time)> action);
+  ~PeriodicTask();
+
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  /// Stops future firings.  Safe to call from within the action.
+  void cancel();
+
+  [[nodiscard]] bool active() const noexcept { return state_ && state_->active; }
+  [[nodiscard]] Time period() const noexcept { return period_; }
+
+ private:
+  struct State {
+    bool active = true;
+  };
+
+  void arm(Time when);
+
+  Simulator& sim_;
+  Time period_;
+  std::function<void(Time)> action_;
+  std::shared_ptr<State> state_;
+  EventId pending_ = 0;
+};
+
+}  // namespace gs::sim

@@ -1,0 +1,44 @@
+#include "sim/simulator.hpp"
+
+#include "util/check.hpp"
+
+namespace gs::sim {
+
+EventId Simulator::at(Time when, std::function<void()> action) {
+  GS_CHECK_GE(when, now_);
+  return queue_.schedule(when, std::move(action));
+}
+
+EventId Simulator::after(Time delay, std::function<void()> action) {
+  GS_CHECK_GE(delay, 0.0);
+  return queue_.schedule(now_ + delay, std::move(action));
+}
+
+std::size_t Simulator::run_until(Time until) {
+  stop_requested_ = false;
+  std::size_t ran = 0;
+  while (!queue_.empty() && !stop_requested_) {
+    const Time next = queue_.next_time();
+    if (next > until) break;
+    now_ = next;
+    queue_.pop_and_run();
+    ++ran;
+  }
+  // Advance the clock to the horizon even if no event sits exactly there,
+  // so successive run_until calls observe monotone time.
+  if (now_ < until && !stop_requested_) now_ = until;
+  return ran;
+}
+
+std::size_t Simulator::run_all() {
+  stop_requested_ = false;
+  std::size_t ran = 0;
+  while (!queue_.empty() && !stop_requested_) {
+    now_ = queue_.next_time();
+    queue_.pop_and_run();
+    ++ran;
+  }
+  return ran;
+}
+
+}  // namespace gs::sim

@@ -1,0 +1,47 @@
+// Discrete-event simulation driver: a clock plus the pending-event set.
+//
+// Time is allowed to be negative — experiments use the paper's convention
+// where t=0 is the source-switch instant and warm-up runs at t<0.
+#pragma once
+
+#include <functional>
+#include <limits>
+
+#include "sim/event_queue.hpp"
+
+namespace gs::sim {
+
+class Simulator {
+ public:
+  /// Starts the clock at `start` (may be negative for warm-up phases).
+  explicit Simulator(Time start = 0.0) : now_(start) {}
+
+  [[nodiscard]] Time now() const noexcept { return now_; }
+
+  /// Schedules at an absolute time; must not be in the past.
+  EventId at(Time when, std::function<void()> action);
+  /// Schedules `delay >= 0` seconds from now.
+  EventId after(Time delay, std::function<void()> action);
+  /// Cancels a pending event; false if it already fired.
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Runs events until the queue drains or the clock passes `until`
+  /// (events at exactly `until` run).  Returns the number of events run.
+  std::size_t run_until(Time until);
+
+  /// Runs until the queue drains or stop() is called.
+  std::size_t run_all();
+
+  /// Makes the current run_* call return after the in-flight event.
+  void stop() noexcept { stop_requested_ = true; }
+
+  [[nodiscard]] bool pending() const noexcept { return !queue_.empty(); }
+  [[nodiscard]] std::size_t pending_count() const noexcept { return queue_.size(); }
+
+ private:
+  EventQueue queue_;
+  Time now_;
+  bool stop_requested_ = false;
+};
+
+}  // namespace gs::sim

@@ -1,0 +1,40 @@
+#include "stream/bandwidth.hpp"
+
+#include <algorithm>
+
+namespace gs::stream {
+
+void RateBudget::replenish(double tau) noexcept {
+  tokens_ = std::min(tokens_ + rate_ * tau, carry_periods_ * rate_ * tau);
+}
+
+void RateBudget::spend(double amount) noexcept {
+  GS_DCHECK(amount <= tokens_ + 1e-9);
+  tokens_ = std::max(0.0, tokens_ - amount);
+}
+
+BandwidthSampler::BandwidthSampler(double min, double max, double mean)
+    : min_(min), max_(max), mean_(mean) {
+  GS_CHECK_LT(min, max);
+  GS_CHECK_GT(mean, min);
+  GS_CHECK_LT(mean, max);
+  // Beta(alpha, beta) scaled to [min, max]: fix alpha, solve beta from the
+  // mean fraction m = alpha / (alpha + beta).  alpha = 1.2 keeps the density
+  // finite at both edges while allowing strong skew.
+  const double m = (mean - min) / (max - min);
+  alpha_ = 1.2;
+  beta_ = alpha_ * (1.0 - m) / m;
+}
+
+double BandwidthSampler::sample(util::Rng& rng) const {
+  return min_ + (max_ - min_) * rng.beta(alpha_, beta_);
+}
+
+BandwidthSampler BandwidthSampler::paper_inbound() {
+  // 300 Kbps .. 1 Mbps at 30 Kb/segment -> 10 .. 33.33 seg/s, mean 15.
+  return BandwidthSampler(10.0, 1000.0 * 1000.0 / (30.0 * 1024.0), 15.0);
+}
+
+BandwidthSampler BandwidthSampler::paper_outbound() { return paper_inbound(); }
+
+}  // namespace gs::stream

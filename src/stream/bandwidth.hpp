@@ -1,0 +1,80 @@
+// Node bandwidth model.
+//
+// Rates are measured in segments/second like the paper's I and O (a 300 Kbps
+// stream of 30 Kb segments gives p = 10 seg/s; 450 Kbps average inbound is
+// I = 15 seg/s).  Each scheduling period a node may issue floor(budget)
+// requests where the budget accrues rate * tau with bounded carry, so
+// fractional rates are honoured over time without unbounded banking.
+//
+// The paper draws rates "randomly ... (from 300 Kbps to 1 Mbps)" with a
+// 450 Kbps average — a mean well below the range midpoint, i.e. a skewed
+// distribution.  BandwidthSampler reproduces that with a scaled Beta draw
+// whose shape is solved from (min, max, mean).
+#pragma once
+
+#include <cstdint>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace gs::stream {
+
+/// Per-period token budget with bounded carry-over.
+class RateBudget {
+ public:
+  RateBudget() = default;
+  /// `rate` in segments/second; `carry_periods` bounds how many periods of
+  /// unused budget may accumulate (1.0 = no banking beyond one period).
+  explicit RateBudget(double rate, double carry_periods = 1.0)
+      : rate_(rate), carry_periods_(carry_periods) {
+    GS_CHECK_GE(rate, 0.0);
+    GS_CHECK_GE(carry_periods, 1.0);
+  }
+
+  [[nodiscard]] double rate() const noexcept { return rate_; }
+  [[nodiscard]] double available() const noexcept { return tokens_; }
+  /// Whole segments spendable right now.
+  [[nodiscard]] std::size_t whole() const noexcept {
+    return tokens_ < 1.0 ? 0 : static_cast<std::size_t>(tokens_);
+  }
+
+  /// Adds one period's worth of tokens (rate * tau), clamped to the carry
+  /// bound (carry_periods * rate * tau).
+  void replenish(double tau) noexcept;
+
+  /// Spends `amount` tokens; requires amount <= available().
+  void spend(double amount) noexcept;
+
+ private:
+  double rate_ = 0.0;
+  double carry_periods_ = 1.0;
+  double tokens_ = 0.0;
+};
+
+/// Draws per-node rates in [min, max] with a prescribed mean.
+class BandwidthSampler {
+ public:
+  /// Requires min < max and mean strictly inside (min, max).
+  BandwidthSampler(double min, double max, double mean);
+
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+
+  [[nodiscard]] double sample(util::Rng& rng) const;
+
+  /// Paper defaults: I in [10, 33.3] seg/s averaging 15 (300 Kbps - 1 Mbps,
+  /// avg 450 Kbps, 30 Kb segments).
+  [[nodiscard]] static BandwidthSampler paper_inbound();
+  /// "The arrangement of outbound rate is alike."
+  [[nodiscard]] static BandwidthSampler paper_outbound();
+
+ private:
+  double min_;
+  double max_;
+  double mean_;
+  double alpha_;
+  double beta_;
+};
+
+}  // namespace gs::stream

@@ -1,0 +1,49 @@
+#include "stream/metrics.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/stats.hpp"
+
+namespace gs::stream {
+namespace {
+
+double mean_or_zero(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  util::RunningStats stats;
+  for (double v : values) stats.add(v);
+  return stats.mean();
+}
+
+double max_or_zero(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  return *std::max_element(values.begin(), values.end());
+}
+
+}  // namespace
+
+double SwitchMetrics::avg_finish_time() const { return mean_or_zero(finish_times); }
+double SwitchMetrics::avg_prepared_time() const { return mean_or_zero(prepared_times); }
+double SwitchMetrics::max_finish_time() const { return max_or_zero(finish_times); }
+double SwitchMetrics::max_prepared_time() const { return max_or_zero(prepared_times); }
+double SwitchMetrics::avg_s2_start_time() const { return mean_or_zero(s2_start_times); }
+
+double SwitchMetrics::completion_fraction() const {
+  if (tracked == 0) return 1.0;
+  return static_cast<double>(std::min(finished_s1, prepared_s2)) / static_cast<double>(tracked);
+}
+
+std::string SwitchMetrics::to_string() const {
+  std::ostringstream out;
+  out << "switch " << switch_index << ": tracked=" << tracked << " finished=" << finished_s1
+      << " prepared=" << prepared_s2 << " avg_finish=" << avg_finish_time()
+      << " avg_switch=" << avg_prepared_time() << " overhead=" << overhead_ratio;
+  return out.str();
+}
+
+double reduction_ratio(double normal_switch_time, double fast_switch_time) {
+  if (normal_switch_time <= 0.0) return 0.0;
+  return (normal_switch_time - fast_switch_time) / normal_switch_time;
+}
+
+}  // namespace gs::stream

@@ -1,0 +1,64 @@
+// Switch-experiment metrics, matching the paper's §5.2 definitions.
+//
+// Primary metrics: average preparing time of S2 (= average switch time),
+// reduction ratio (computed by reporters from two runs), and communication
+// overhead.  Supplementary: undelivered ratio of S1, delivered ratio of S2
+// (per-period tracks), and average finishing time of S1.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace gs::stream {
+
+/// One sample of the per-period ratio tracks (Fig. 5 / Fig. 9).
+struct TrackPoint {
+  double time = 0.0;  ///< seconds since the switch instant
+  /// Mean over tracked nodes of Q1(t)/Q0 (nodes with Q0 = 0 contribute 0).
+  double undelivered_ratio_s1 = 0.0;
+  /// Mean over tracked nodes of (Qs - Q2(t))/Qs.
+  double delivered_ratio_s2 = 0.0;
+  std::size_t live_tracked = 0;
+};
+
+/// Per-switch results.  Times are relative to the switch instant.
+struct SwitchMetrics {
+  int switch_index = 0;
+  double switch_time = 0.0;  ///< absolute sim time of the switch
+
+  std::size_t tracked = 0;           ///< nodes alive (non-source) at the switch
+  std::size_t finished_s1 = 0;       ///< completed the playback of S1
+  std::size_t prepared_s2 = 0;       ///< gathered the Qs-segment prefix of S2
+  std::size_t censored_finish = 0;   ///< left/timed out before finishing S1
+  std::size_t censored_prepare = 0;  ///< left/timed out before preparing S2
+
+  std::vector<double> finish_times;    ///< per completed node, T1'
+  std::vector<double> prepared_times;  ///< per completed node, T2 (switch time)
+  std::vector<double> s2_start_times;  ///< actual playback start of S2
+
+  std::vector<TrackPoint> track;
+
+  /// Communication overhead over [switch, completion]: buffer-map bits over
+  /// data bits (§5.3), and the wider ratio including request bits.
+  double overhead_ratio = 0.0;
+  double control_ratio = 0.0;
+  std::uint64_t data_segments = 0;
+
+  [[nodiscard]] double avg_finish_time() const;
+  [[nodiscard]] double avg_prepared_time() const;  ///< average switch time
+  [[nodiscard]] double max_finish_time() const;
+  [[nodiscard]] double max_prepared_time() const;
+  [[nodiscard]] double avg_s2_start_time() const;
+
+  /// finished + prepared fraction of the tracked population.
+  [[nodiscard]] double completion_fraction() const;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// The paper's reduction ratio: (normal - fast) / normal average switch time.
+[[nodiscard]] double reduction_ratio(double normal_switch_time, double fast_switch_time);
+
+}  // namespace gs::stream

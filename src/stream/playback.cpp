@@ -1,0 +1,84 @@
+#include "stream/playback.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace gs::stream {
+
+Playback::Playback(double rate) : rate_(rate), interval_(1.0 / rate) { GS_CHECK_GT(rate, 0.0); }
+
+void Playback::start(SegmentId first, double now) {
+  GS_CHECK(!started_);
+  GS_CHECK_GE(first, 0);
+  started_ = true;
+  cursor_ = first;
+  next_due_ = now;
+}
+
+void Playback::set_gate(SegmentId id) {
+  GS_CHECK_EQ(gate_, kNoSegment);
+  GS_CHECK(!started_ || id >= cursor_);
+  gate_ = id;
+}
+
+void Playback::release_gate(double now) {
+  GS_CHECK_NE(gate_, kNoSegment);
+  gate_ = kNoSegment;
+  // The freshly ungated segment plays no earlier than the release instant.
+  if (started_ && next_due_ < now) next_due_ = now;
+}
+
+void Playback::notify_arrival(SegmentId id, double now) {
+  if (!started_ || id < cursor_) return;
+  if (id == cursor_) {
+    // A fresh arrival of the cursor segment means it was absent at its due
+    // time (duplicates never reach here): the stream stalled from next_due_
+    // until now and resumes at the arrival instant, never retroactively.
+    if (next_due_ < now) {
+      stall_time_ += now - next_due_;
+      next_due_ = now;
+    }
+    stalled_ = false;
+    return;
+  }
+  // Ahead of the cursor: remember the arrival so the catch-up loop never
+  // back-dates this segment's play time.
+  if (id < cursor_ + kArrivalWindow) recent_arrivals_[id] = now;
+}
+
+std::size_t Playback::advance(double now, const std::function<bool(SegmentId)>& has,
+                              const std::function<void(SegmentId, double)>& on_play) {
+  if (!started_) return 0;
+  std::size_t plays = 0;
+  while (next_due_ <= now) {
+    if (gate_ != kNoSegment && cursor_ >= gate_) break;
+    if (!has(cursor_)) {
+      stalled_ = true;
+      break;
+    }
+    stalled_ = false;
+    // Clamp to the recorded arrival: segments that turned up after their
+    // theoretical due time stalled the stream until they arrived.
+    const auto it = recent_arrivals_.find(cursor_);
+    if (it != recent_arrivals_.end()) {
+      if (it->second > next_due_) {
+        stall_time_ += it->second - next_due_;
+        next_due_ = it->second;
+      }
+      recent_arrivals_.erase(it);
+      if (next_due_ > now) break;  // resumed beyond the current horizon
+    }
+    on_play(cursor_, next_due_);
+    ++played_;
+    ++plays;
+    ++cursor_;
+    next_due_ += interval_;
+    // Drop stale bookkeeping the cursor has passed (skipped duplicates).
+    recent_arrivals_.erase(recent_arrivals_.begin(),
+                           recent_arrivals_.lower_bound(cursor_));
+  }
+  return plays;
+}
+
+}  // namespace gs::stream

@@ -1,0 +1,4 @@
+#include "stream/scheduler.hpp"
+
+// Interface-only translation unit (keeps the vtable anchored here).
+namespace gs::stream {}  // namespace gs::stream

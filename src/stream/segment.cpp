@@ -1,0 +1,24 @@
+#include "stream/segment.hpp"
+
+#include "util/check.hpp"
+
+namespace gs::stream {
+
+SegmentId SegmentRegistry::append(SessionIndex session, double created_at,
+                                  SegmentId prev_session_end) {
+  SegmentInfo info;
+  info.id = static_cast<SegmentId>(segments_.size());
+  info.session = session;
+  info.created_at = created_at;
+  info.prev_session_end = prev_session_end;
+  segments_.push_back(info);
+  return info.id;
+}
+
+const SegmentInfo& SegmentRegistry::info(SegmentId id) const {
+  GS_CHECK_GE(id, 0);
+  GS_CHECK_LT(static_cast<std::size_t>(id), segments_.size());
+  return segments_[static_cast<std::size_t>(id)];
+}
+
+}  // namespace gs::stream

@@ -1,0 +1,78 @@
+#include "stream/stream_buffer.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace gs::stream {
+
+StreamBuffer::StreamBuffer(std::size_t capacity) : capacity_(capacity) {
+  GS_CHECK_GE(capacity, 1u);
+}
+
+void StreamBuffer::grow_presence(SegmentId id) {
+  const auto needed = static_cast<std::size_t>(id) + 1;
+  if (presence_.size() < needed) {
+    // Grow geometrically so repeated inserts stay amortized O(1).
+    presence_.resize(std::max(needed, presence_.size() * 2 + 64));
+  }
+}
+
+SegmentId StreamBuffer::insert(SegmentId id) {
+  GS_CHECK_GE(id, 0);
+  if (contains(id)) return kNoSegment;
+  grow_presence(id);
+  order_.push_back(id);
+  sequence_[id] = next_sequence_++;
+  presence_.set(static_cast<std::size_t>(id));
+  max_id_ = std::max(max_id_, id);
+
+  if (order_.size() <= capacity_) return kNoSegment;
+  const SegmentId victim = order_.front();
+  order_.pop_front();
+  sequence_.erase(victim);
+  presence_.reset(static_cast<std::size_t>(victim));
+  ++evictions_;
+  if (victim == max_id_) {
+    // Rare: the max can only be evicted under heavy id reordering.
+    max_id_ = kNoSegment;
+    for (const SegmentId held : order_) max_id_ = std::max(max_id_, held);
+  }
+  return victim;
+}
+
+bool StreamBuffer::contains(SegmentId id) const noexcept {
+  if (id < 0 || static_cast<std::size_t>(id) >= presence_.size()) return false;
+  return presence_.test(static_cast<std::size_t>(id));
+}
+
+std::size_t StreamBuffer::position_from_tail(SegmentId id) const noexcept {
+  const auto it = sequence_.find(id);
+  if (it == sequence_.end()) return 0;
+  // Every successful insert bumps next_sequence_ by one and appends one
+  // element at the tail, so the distance from the tail is the number of
+  // later insertions plus one.  Evictions remove from the head and do not
+  // change any survivor's distance from the tail.
+  return static_cast<std::size_t>(next_sequence_ - it->second);
+}
+
+SegmentId StreamBuffer::oldest() const noexcept {
+  return order_.empty() ? kNoSegment : order_.front();
+}
+
+SegmentId StreamBuffer::newest() const noexcept {
+  return order_.empty() ? kNoSegment : order_.back();
+}
+
+gossip::BufferMap StreamBuffer::build_map(std::size_t window_bits) const {
+  if (max_id_ == kNoSegment) return gossip::BufferMap(0, window_bits);
+  const SegmentId base =
+      std::max<SegmentId>(0, max_id_ - static_cast<SegmentId>(window_bits) + 1);
+  gossip::BufferMap map(base, window_bits);
+  for (SegmentId id = base; id <= max_id_; ++id) {
+    if (contains(id)) map.mark(id);
+  }
+  return map;
+}
+
+}  // namespace gs::stream

@@ -1,0 +1,74 @@
+// Per-peer segment buffer with FIFO replacement.
+//
+// The paper fixes the replacement strategy to FIFO and defines a segment's
+// position p_ij in a supplier's buffer as its distance from the buffer's
+// *tail* (most recent insertion): a just-inserted segment has position 1,
+// the eviction candidate has position size() <= B.  rarity (eq. 8) uses
+// p_ij / B as the per-supplier replacement probability.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "gossip/buffer_map.hpp"
+#include "util/bitset.hpp"
+
+namespace gs::stream {
+
+using gossip::SegmentId;
+using gossip::kNoSegment;
+
+class StreamBuffer {
+ public:
+  explicit StreamBuffer(std::size_t capacity);
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t size() const noexcept { return order_.size(); }
+
+  /// Inserts `id`; returns the evicted id (kNoSegment if none).  Duplicate
+  /// inserts are no-ops returning kNoSegment.
+  SegmentId insert(SegmentId id);
+
+  /// True if `id` is currently held (inserted and not yet evicted).
+  [[nodiscard]] bool contains(SegmentId id) const noexcept;
+
+  /// Distance from tail: 1 for the newest segment, size() for the oldest.
+  /// Returns 0 if absent.
+  [[nodiscard]] std::size_t position_from_tail(SegmentId id) const noexcept;
+
+  /// Oldest (next-to-evict) segment; kNoSegment when empty.
+  [[nodiscard]] SegmentId oldest() const noexcept;
+  /// Most recently inserted segment; kNoSegment when empty.
+  [[nodiscard]] SegmentId newest() const noexcept;
+
+  /// Highest segment id currently held; kNoSegment when empty.  Maintained
+  /// incrementally (streaming arrival is nearly in id order, so the max is
+  /// almost always the last insert; eviction of the max triggers a rescan).
+  [[nodiscard]] SegmentId max_id() const noexcept { return max_id_; }
+
+  /// Id-indexed availability, spanning [0, highest id ever inserted].
+  /// Bits are cleared on eviction.  Zero-copy view for the gossip layer.
+  [[nodiscard]] const util::DynamicBitset& presence() const noexcept { return presence_; }
+
+  /// Builds the wire-format availability map: window of `window_bits`
+  /// ending at the newest held id (base = max(0, max_id - window + 1)).
+  [[nodiscard]] gossip::BufferMap build_map(std::size_t window_bits) const;
+
+  [[nodiscard]] std::uint64_t eviction_count() const noexcept { return evictions_; }
+
+ private:
+  void grow_presence(SegmentId id);
+
+  std::size_t capacity_;
+  /// Insertion order (front = oldest).
+  std::deque<SegmentId> order_;
+  /// id -> insertion sequence number; erased on eviction.
+  std::unordered_map<SegmentId, std::uint64_t> sequence_;
+  util::DynamicBitset presence_;
+  std::uint64_t next_sequence_ = 1;
+  SegmentId max_id_ = kNoSegment;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace gs::stream

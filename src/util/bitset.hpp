@@ -1,0 +1,59 @@
+// Dynamic bitset backing the 600-bit buffer-availability maps.
+//
+// std::vector<bool> has no word-level access and std::bitset is fixed-size;
+// buffer maps need runtime size plus fast popcount and byte serialization
+// for the wire format, hence this small purpose-built type.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gs::util {
+
+class DynamicBitset {
+ public:
+  DynamicBitset() = default;
+  explicit DynamicBitset(std::size_t bits) { resize(bits); }
+
+  /// Resizes, preserving existing bits (new bits are zero).
+  void resize(std::size_t bits);
+  [[nodiscard]] std::size_t size() const noexcept { return bits_; }
+
+  void set(std::size_t pos, bool value = true);
+  void reset(std::size_t pos) { set(pos, false); }
+  void reset_all() noexcept;
+  [[nodiscard]] bool test(std::size_t pos) const;
+
+  /// Number of set bits.
+  [[nodiscard]] std::size_t count() const noexcept;
+  [[nodiscard]] bool any() const noexcept;
+  [[nodiscard]] bool none() const noexcept { return !any(); }
+
+  /// Index of the first set bit at or after `from`; size() when none.
+  [[nodiscard]] std::size_t find_first(std::size_t from = 0) const noexcept;
+  /// Index of the first clear bit at or after `from`; size() when none.
+  [[nodiscard]] std::size_t find_first_clear(std::size_t from = 0) const noexcept;
+
+  DynamicBitset& operator&=(const DynamicBitset& other);
+  DynamicBitset& operator|=(const DynamicBitset& other);
+
+  [[nodiscard]] bool operator==(const DynamicBitset& other) const noexcept = default;
+
+  /// Serializes to ceil(size/8) bytes, LSB-first within each byte.
+  [[nodiscard]] std::vector<std::uint8_t> to_bytes() const;
+  /// Rebuilds a bitset of `bits` bits from `to_bytes()` output.
+  [[nodiscard]] static DynamicBitset from_bytes(const std::vector<std::uint8_t>& bytes,
+                                                std::size_t bits);
+
+ private:
+  static constexpr std::size_t kWordBits = 64;
+  [[nodiscard]] std::size_t word_count() const noexcept { return words_.size(); }
+  /// Clears any bits beyond size() in the last word.
+  void trim() noexcept;
+
+  std::vector<std::uint64_t> words_;
+  std::size_t bits_ = 0;
+};
+
+}  // namespace gs::util

@@ -1,0 +1,17 @@
+#include "util/check.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace gs::util {
+
+void check_failed(std::string_view condition, std::string_view file, int line,
+                  const std::string& message) {
+  std::fprintf(stderr, "GS_CHECK failed: %.*s at %.*s:%d %s\n",
+               static_cast<int>(condition.size()), condition.data(),
+               static_cast<int>(file.size()), file.data(), line, message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace gs::util

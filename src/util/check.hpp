@@ -1,0 +1,66 @@
+// Runtime invariant checks that stay enabled in release builds.
+//
+// Simulation correctness depends on invariants (budgets never negative,
+// segment ids monotone, ...) that are cheap to verify relative to the work
+// they guard, so GS_CHECK is always on.  GS_DCHECK compiles out in NDEBUG
+// builds and is meant for hot-path checks.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace gs::util {
+
+/// Formats the failure message and aborts.  Marked noreturn so GS_CHECK can
+/// be used in functions with non-void returns without dummy values.
+[[noreturn]] void check_failed(std::string_view condition, std::string_view file, int line,
+                               const std::string& message);
+
+namespace detail {
+
+/// Lazily builds the streamed message only when a check actually fails.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* condition, const char* file, int line)
+      : condition_(condition), file_(file), line_(line) {}
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+  [[noreturn]] ~CheckMessageBuilder() noexcept(false) {
+    check_failed(condition_, file_, line_, stream_.str());
+  }
+
+ private:
+  const char* condition_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace gs::util
+
+#define GS_CHECK(cond)                                                 \
+  if (cond) {                                                          \
+  } else                                                               \
+    ::gs::util::detail::CheckMessageBuilder(#cond, __FILE__, __LINE__)
+
+#define GS_CHECK_OP(op, a, b) GS_CHECK((a)op(b)) << "(" << (a) << " vs " << (b) << ") "
+#define GS_CHECK_EQ(a, b) GS_CHECK_OP(==, a, b)
+#define GS_CHECK_NE(a, b) GS_CHECK_OP(!=, a, b)
+#define GS_CHECK_LT(a, b) GS_CHECK_OP(<, a, b)
+#define GS_CHECK_LE(a, b) GS_CHECK_OP(<=, a, b)
+#define GS_CHECK_GT(a, b) GS_CHECK_OP(>, a, b)
+#define GS_CHECK_GE(a, b) GS_CHECK_OP(>=, a, b)
+
+#ifdef NDEBUG
+#define GS_DCHECK(cond) GS_CHECK(true)
+#else
+#define GS_DCHECK(cond) GS_CHECK(cond)
+#endif

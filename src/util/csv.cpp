@@ -1,0 +1,44 @@
+#include "util/csv.hpp"
+
+#include <stdexcept>
+
+namespace gs::util {
+
+CsvWriter::CsvWriter(const std::string& path) : path_(path), out_(path, std::ios::trunc) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+}
+
+std::string CsvWriter::escape(std::string_view field) {
+  const bool needs_quoting = field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quoting) return std::string(field);
+  std::string quoted;
+  quoted.reserve(field.size() + 2);
+  quoted.push_back('"');
+  for (char c : field) {
+    if (c == '"') quoted.push_back('"');
+    quoted.push_back(c);
+  }
+  quoted.push_back('"');
+  return quoted;
+}
+
+void CsvWriter::write_fields(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << escape(fields[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::write_row(std::initializer_list<std::string_view> fields) {
+  std::vector<std::string> copy;
+  copy.reserve(fields.size());
+  for (std::string_view f : fields) copy.emplace_back(f);
+  write_fields(copy);
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) { write_fields(fields); }
+
+void CsvWriter::flush() { out_.flush(); }
+
+}  // namespace gs::util

@@ -1,0 +1,74 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <cctype>
+#include <cstdio>
+
+namespace gs::util {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+
+std::mutex& sink_mutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+const char* level_tag(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarn:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kOff:
+      return "?";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_level() noexcept { return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed)); }
+
+void set_log_level(LogLevel level) noexcept {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel parse_log_level(std::string_view name) noexcept {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) lower.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off" || lower == "none") return LogLevel::kOff;
+  return LogLevel::kInfo;
+}
+
+namespace detail {
+
+bool log_enabled(LogLevel level) noexcept {
+  return static_cast<int>(level) >= g_level.load(std::memory_order_relaxed);
+}
+
+LogLine::LogLine(LogLevel level, const char* file, int line) : level_(level) {
+  // Strip the directory part so log lines stay short.
+  std::string_view path(file);
+  const auto slash = path.find_last_of('/');
+  if (slash != std::string_view::npos) path.remove_prefix(slash + 1);
+  stream_ << "[" << level_tag(level) << " " << path << ":" << line << "] ";
+}
+
+LogLine::~LogLine() {
+  const std::string text = stream_.str();
+  std::lock_guard<std::mutex> lock(sink_mutex());
+  std::fprintf(stderr, "%s\n", text.c_str());
+}
+
+}  // namespace detail
+}  // namespace gs::util

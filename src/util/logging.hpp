@@ -1,0 +1,63 @@
+// Minimal leveled logger.
+//
+// The simulator is deterministic and single-threaded per run, but sweeps run
+// many simulations concurrently, so the sink is protected by a mutex.  Log
+// level is a process-wide setting; benches default to kWarn so that figure
+// output stays clean.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace gs::util {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Returns the current process-wide log threshold.
+LogLevel log_level() noexcept;
+
+/// Sets the process-wide log threshold.  Thread-safe.
+void set_log_level(LogLevel level) noexcept;
+
+/// Parses "debug"/"info"/"warn"/"error"/"off" (case-insensitive).
+/// Returns kInfo for unrecognised names.
+LogLevel parse_log_level(std::string_view name) noexcept;
+
+namespace detail {
+
+/// Accumulates one log line and flushes it (with a level tag) on destruction.
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line);
+  ~LogLine();
+
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+bool log_enabled(LogLevel level) noexcept;
+
+}  // namespace detail
+}  // namespace gs::util
+
+#define GS_LOG(level)                                                      \
+  if (!::gs::util::detail::log_enabled(::gs::util::LogLevel::level)) {     \
+  } else                                                                   \
+    ::gs::util::detail::LogLine(::gs::util::LogLevel::level, __FILE__, __LINE__)
+
+#define GS_LOG_DEBUG GS_LOG(kDebug)
+#define GS_LOG_INFO GS_LOG(kInfo)
+#define GS_LOG_WARN GS_LOG(kWarn)
+#define GS_LOG_ERROR GS_LOG(kError)

@@ -1,0 +1,99 @@
+// Deterministic random number generation.
+//
+// Every simulation entity (node, topology generator, churn process, ...)
+// derives its own independent stream from a single experiment seed via
+// SplitMix64 hashing, so adding an entity or reordering calls in one
+// component never perturbs the random sequence seen by another.  The core
+// generator is xoshiro256** which is fast, high-quality and trivially
+// reproducible across platforms (unlike std::mt19937 distributions, whose
+// outputs are implementation-defined for e.g. std::normal_distribution —
+// all sampling helpers here are hand-rolled for bit-for-bit determinism).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <string_view>
+#include <vector>
+
+namespace gs::util {
+
+/// SplitMix64 hash step; used for seeding and stream derivation.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// xoshiro256** PRNG.  Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words by iterating SplitMix64 from `seed`.
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return std::numeric_limits<result_type>::max(); }
+
+  result_type operator()() noexcept;
+
+  /// Derives an independent child stream keyed by (this stream's seed, key).
+  /// Children of distinct keys are statistically independent.
+  [[nodiscard]] Rng fork(std::uint64_t key) const noexcept;
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform() noexcept;
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) noexcept;
+  /// Uniform integer in [lo, hi] (inclusive); requires lo <= hi.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+  /// Bernoulli trial with success probability p.
+  [[nodiscard]] bool bernoulli(double p) noexcept;
+  /// Exponential with rate lambda (mean 1/lambda).
+  [[nodiscard]] double exponential(double lambda) noexcept;
+  /// Standard normal via Box-Muller (deterministic across platforms).
+  [[nodiscard]] double normal(double mean = 0.0, double stddev = 1.0) noexcept;
+  /// Beta(alpha, beta) via Jöhnk/gamma sampling; used for skewed bandwidth draws.
+  [[nodiscard]] double beta(double alpha, double beta) noexcept;
+  /// Pareto with scale x_m and shape alpha (long-tailed ping times).
+  [[nodiscard]] double pareto(double x_m, double alpha) noexcept;
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) noexcept {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Samples k distinct indices from [0, n) without replacement.
+  [[nodiscard]] std::vector<std::size_t> sample_without_replacement(std::size_t n, std::size_t k) noexcept;
+
+  /// Seed this generator was constructed/reseeded with (for fork derivation).
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+ private:
+  [[nodiscard]] double gamma(double shape) noexcept;
+
+  std::array<std::uint64_t, 4> state_{};
+  std::uint64_t seed_ = 0;
+};
+
+/// Stable 64-bit FNV-1a hash of a string; lets callers derive streams from
+/// human-readable component names ("churn", "topology", ...).
+[[nodiscard]] constexpr std::uint64_t hash_name(std::string_view name) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : name) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace gs::util

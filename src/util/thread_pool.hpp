@@ -1,0 +1,65 @@
+// Fixed-size thread pool for running many independent simulations (trials,
+// sweep points) concurrently.
+//
+// Simulations are deterministic and share nothing, so a plain mutex-guarded
+// task queue is ample: task granularity is whole simulation runs (tens of
+// milliseconds to seconds), making queue contention irrelevant.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace gs::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (defaults to hardware concurrency, min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  /// Drains outstanding tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t thread_count() const noexcept { return workers_.size(); }
+
+  /// Enqueues a callable; the returned future yields its result (or rethrows
+  /// its exception).
+  template <typename F>
+  [[nodiscard]] auto submit(F&& task) -> std::future<std::invoke_result_t<F>> {
+    using Result = std::invoke_result_t<F>;
+    auto packaged = std::make_shared<std::packaged_task<Result()>>(std::forward<F>(task));
+    std::future<Result> future = packaged->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      tasks_.emplace([packaged] { (*packaged)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+  /// Runs body(i) for i in [0, n) across the pool and blocks until all
+  /// complete.  Exceptions from any iteration are rethrown (first one wins).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Process-wide pool shared by benches; constructed on first use.
+ThreadPool& global_pool();
+
+}  // namespace gs::util

@@ -1,0 +1,210 @@
+// The closed-form rate split (paper eq. 4 and the four capped cases of §4),
+// including property tests against brute-force optimization.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <tuple>
+
+#include "core/rate_solver.hpp"
+#include "util/rng.hpp"
+
+namespace gs::core {
+namespace {
+
+// Direct transcription of eq. 4 for cross-checking the stable form.
+double r1_literal(const SplitInput& in) {
+  const double a = in.p * (in.q1 + in.q2) / in.q;
+  return (in.inbound - a + std::sqrt((a - in.inbound) * (a - in.inbound) +
+                                     4.0 * in.p * in.inbound * in.q1 / in.q)) /
+         2.0;
+}
+
+TEST(RateSolver, MatchesLiteralFormula) {
+  const SplitInput in{/*q1=*/128, /*q2=*/50, /*q=*/10, /*p=*/10, /*inbound=*/15};
+  EXPECT_NEAR(optimal_r1(in), r1_literal(in), 1e-9);
+}
+
+TEST(RateSolver, PaperFig2Regime) {
+  // Fig. 2's example: I = 7, 5 segments of each stream.  The split should
+  // give both streams a share (interleaving), unlike the normal algorithm.
+  const SplitInput in{5, 5, 10, 10, 7};
+  const RateSplit split = solve_unconstrained(in);
+  EXPECT_GT(split.i1, 0.0);
+  EXPECT_GT(split.i2, 0.0);
+  EXPECT_NEAR(split.i1 + split.i2, 7.0, 1e-9);
+}
+
+TEST(RateSolver, ZeroQ1LargeDemandGivesAllToS2) {
+  // With no old-stream backlog and p*Q2/Q >= I, eq. 4 collapses to
+  // r1 = max(0, I - p*Q2/Q) = 0: everything goes to the new stream.
+  const SplitInput in{0, 50, 10, 10, 15};
+  const RateSplit split = solve_unconstrained(in);
+  EXPECT_NEAR(split.i1, 0.0, 1e-9);
+  EXPECT_NEAR(split.i2, 15.0, 1e-9);
+  EXPECT_NEAR(expected_prepare_time(in.q2, split.i2), 50.0 / 15.0, 1e-9);
+}
+
+TEST(RateSolver, ZeroQ1SmallDemandPinsT2ToPlaybackTail) {
+  // With spare capacity (p*Q2/Q < I), T2 is pinned at T1' = Q/p and the
+  // formula parks the excess rate in I1 (useless but harmless).
+  const SplitInput in{0, 5, 10, 10, 15};
+  const RateSplit split = solve_unconstrained(in);
+  EXPECT_NEAR(split.i1, 10.0, 1e-9);
+  EXPECT_NEAR(expected_prepare_time(in.q2, split.i2), in.q / in.p, 1e-9);
+}
+
+TEST(RateSolver, ZeroQ2GivesEverythingToS1) {
+  const SplitInput in{50, 0, 10, 10, 15};
+  const RateSplit split = solve_unconstrained(in);
+  EXPECT_NEAR(split.i1, 15.0, 1e-9);
+  EXPECT_NEAR(split.i2, 0.0, 1e-9);
+}
+
+TEST(RateSolver, ConstraintSatisfiedWithEquality) {
+  // At the optimum the constraint T2 >= T1' is tight (any slack could be
+  // traded for a smaller T2).
+  const SplitInput in{128, 50, 10, 10, 15};
+  const RateSplit split = solve_unconstrained(in);
+  const double t1p = expected_finish_time(in.q1, in.q, in.p, split.i1);
+  const double t2 = expected_prepare_time(in.q2, split.i2);
+  EXPECT_NEAR(t2, t1p, 1e-6);
+}
+
+TEST(RateSolver, ExpectedTimeEdgeCases) {
+  EXPECT_EQ(expected_prepare_time(0, 0), 0.0);
+  EXPECT_TRUE(std::isinf(expected_prepare_time(10, 0)));
+  EXPECT_DOUBLE_EQ(expected_finish_time(0, 10, 10, 0), 1.0);
+  EXPECT_TRUE(std::isinf(expected_finish_time(10, 10, 10, 0)));
+}
+
+TEST(RateSolver, CappedCase1) {
+  const SplitInput in{128, 50, 10, 10, 15};
+  const RateSplit u = solve_unconstrained(in);
+  const RateSplit c = solve_capped(in, u.r1 + 1.0, u.r2 + 1.0);
+  EXPECT_EQ(c.case_id, 1);
+  EXPECT_NEAR(c.i1, u.r1, 1e-9);
+  EXPECT_NEAR(c.i2, u.r2, 1e-9);
+}
+
+TEST(RateSolver, CappedCase2) {
+  // r2 exceeds O2: I2 = O2, I1 = min(O1, I - O2).
+  const SplitInput in{128, 50, 10, 10, 15};
+  const RateSplit u = solve_unconstrained(in);
+  const double o2 = u.r2 / 2.0;
+  const RateSplit c = solve_capped(in, 100.0, o2);
+  EXPECT_EQ(c.case_id, 2);
+  EXPECT_NEAR(c.i2, o2, 1e-9);
+  EXPECT_NEAR(c.i1, in.inbound - o2, 1e-9);
+}
+
+TEST(RateSolver, CappedCase3) {
+  const SplitInput in{128, 50, 10, 10, 15};
+  const RateSplit u = solve_unconstrained(in);
+  const double o1 = u.r1 / 2.0;
+  const RateSplit c = solve_capped(in, o1, 100.0);
+  EXPECT_EQ(c.case_id, 3);
+  EXPECT_NEAR(c.i1, o1, 1e-9);
+  EXPECT_NEAR(c.i2, in.inbound - o1, 1e-9);
+}
+
+TEST(RateSolver, CappedCase4) {
+  const SplitInput in{128, 50, 10, 10, 15};
+  const RateSplit u = solve_unconstrained(in);
+  const RateSplit c = solve_capped(in, u.r1 / 2.0, u.r2 / 2.0);
+  EXPECT_EQ(c.case_id, 4);
+  EXPECT_NEAR(c.i1, u.r1 / 2.0, 1e-9);
+  EXPECT_NEAR(c.i2, u.r2 / 2.0, 1e-9);
+}
+
+TEST(RateSolver, CappedNeverNegative) {
+  // Severe outbound shortage: I - O2 would be negative in case 2.
+  const SplitInput in{10, 10, 10, 10, 5};
+  const RateSplit c = solve_capped(in, 0.0, 100.0);
+  EXPECT_GE(c.i1, 0.0);
+  EXPECT_GE(c.i2, 0.0);
+}
+
+TEST(RateSolver, NumericalStabilityLargeBacklog) {
+  // Huge Q1+Q2 makes b enormous; the conjugate form must stay accurate.
+  const SplitInput in{1e9, 1e9, 10, 10, 15};
+  const double r1 = optimal_r1(in);
+  EXPECT_GE(r1, 0.0);
+  EXPECT_LE(r1, in.inbound);
+  EXPECT_FALSE(std::isnan(r1));
+  // Verify against the defining quadratic: r1^2 + b*r1 - c ~ 0 at the root.
+  const double b = in.p * (in.q1 + in.q2) / in.q - in.inbound;
+  const double c = in.p * in.inbound * in.q1 / in.q;
+  const double residual = r1 * r1 + b * r1 - c;
+  EXPECT_NEAR(residual / c, 0.0, 1e-9);
+}
+
+struct RandomizedCase {
+  std::uint64_t seed;
+};
+
+class SolverPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SolverPropertyTest, OptimalAmongFeasibleSplits) {
+  // Property: over a fine grid of feasible static splits (I1, I - I1), no
+  // feasible point achieves a smaller T2 than the closed form.
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  for (int trial = 0; trial < 50; ++trial) {
+    SplitInput in;
+    in.q1 = rng.uniform(0.0, 300.0);
+    in.q2 = rng.uniform(1.0, 100.0);
+    in.q = rng.uniform(1.0, 30.0);
+    in.p = rng.uniform(1.0, 30.0);
+    in.inbound = rng.uniform(1.0, 40.0);
+    const RateSplit split = solve_unconstrained(in);
+
+    EXPECT_GE(split.i1, -1e-9);
+    EXPECT_GE(split.i2, -1e-9);
+    EXPECT_NEAR(split.i1 + split.i2, in.inbound, 1e-9);
+
+    const double best_t2 = expected_prepare_time(in.q2, split.i2);
+    // The optimum satisfies the playback constraint.
+    EXPECT_GE(best_t2 + 1e-6, expected_finish_time(in.q1, in.q, in.p, split.i1));
+
+    for (int g = 0; g <= 400; ++g) {
+      const double i1 = in.inbound * g / 400.0;
+      const double i2 = in.inbound - i1;
+      const double t1p = expected_finish_time(in.q1, in.q, in.p, i1);
+      const double t2 = expected_prepare_time(in.q2, i2);
+      if (t2 + 1e-9 < t1p) continue;  // infeasible: violates T2 >= T1'
+      EXPECT_GE(t2 + 1e-6, best_t2)
+          << "grid point i1=" << i1 << " beats closed form on trial " << trial;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverPropertyTest, ::testing::Range(1, 9));
+
+class SolverCappedPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SolverCappedPropertyTest, CapsAlwaysRespected) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 1000);
+  for (int trial = 0; trial < 200; ++trial) {
+    SplitInput in;
+    in.q1 = rng.uniform(0.0, 300.0);
+    in.q2 = rng.uniform(0.0, 100.0);
+    in.q = rng.uniform(1.0, 30.0);
+    in.p = rng.uniform(1.0, 30.0);
+    in.inbound = rng.uniform(1.0, 40.0);
+    const double o1 = rng.uniform(0.0, 30.0);
+    const double o2 = rng.uniform(0.0, 30.0);
+    const RateSplit c = solve_capped(in, o1, o2);
+    EXPECT_LE(c.i1, o1 + 1e-9);
+    EXPECT_LE(c.i2, o2 + 1e-9);
+    EXPECT_LE(c.i1 + c.i2, in.inbound + 1e-9);
+    EXPECT_GE(c.i1, 0.0);
+    EXPECT_GE(c.i2, 0.0);
+    EXPECT_GE(c.case_id, 1);
+    EXPECT_LE(c.case_id, 4);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverCappedPropertyTest, ::testing::Range(1, 6));
+
+}  // namespace
+}  // namespace gs::core

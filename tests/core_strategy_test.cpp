@@ -1,0 +1,249 @@
+// FastSwitchScheduler and NormalSwitchScheduler behaviour, including the
+// paper's Fig. 2 example (7-per-period budget, 5 S1 + 5 S2 available).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "core/fast_switch.hpp"
+#include "core/normal_switch.hpp"
+
+namespace gs::core {
+namespace {
+
+using stream::CandidateSegment;
+using stream::ScheduleContext;
+using stream::ScheduledRequest;
+using stream::StreamEpoch;
+using stream::SupplierView;
+
+SupplierView supplier(net::NodeId node, double rate, std::size_t position) {
+  SupplierView s;
+  s.node = node;
+  s.send_rate = rate;
+  s.buffer_position = position;
+  return s;
+}
+
+/// Fig. 2 setup: the node plays id 100; S1 ends at 105 (5 undelivered:
+/// 101..105); S2 starts at 106 with its first 5 segments available; the
+/// inbound budget is 7 per period.  Suppliers are ample.
+struct Fig2 {
+  ScheduleContext ctx;
+  std::vector<CandidateSegment> candidates;
+
+  Fig2() {
+    ctx.period = 1.0;
+    ctx.playback_rate = 10.0;
+    ctx.inbound_rate = 7.0;
+    ctx.id_play = 101;
+    ctx.s1_end = 105;
+    ctx.s2_begin = 106;
+    ctx.q_consecutive = 10;
+    ctx.q_startup = 50;
+    ctx.q1_remaining = 5;
+    ctx.q2_remaining = 5;
+    ctx.buffer_capacity = 600;
+    ctx.max_requests = 7;
+    for (stream::SegmentId id = 101; id <= 110; ++id) {
+      CandidateSegment c;
+      c.id = id;
+      c.epoch = id <= 105 ? StreamEpoch::kOld : StreamEpoch::kNew;
+      c.suppliers = {supplier(1, 30.0, 50), supplier(2, 25.0, 80)};
+      candidates.push_back(c);
+    }
+  }
+};
+
+std::size_t count_epoch(const std::vector<ScheduledRequest>& requests,
+                        stream::SegmentId s1_end, bool new_epoch) {
+  std::size_t n = 0;
+  for (const auto& r : requests) {
+    if ((r.id > s1_end) == new_epoch) ++n;
+  }
+  return n;
+}
+
+TEST(NormalSwitch, Fig2TakesAllS1FirstThenLeftoverS2) {
+  Fig2 fig;
+  NormalSwitchScheduler scheduler;
+  const auto requests = scheduler.schedule(fig.ctx, fig.candidates);
+  ASSERT_EQ(requests.size(), 7u);
+  // Paper Fig. 2 normal order: S1#1..S1#5 then S2#1, S2#2.
+  for (int i = 0; i < 5; ++i) EXPECT_LE(requests[static_cast<std::size_t>(i)].id, 105);
+  EXPECT_GT(requests[5].id, 105);
+  EXPECT_GT(requests[6].id, 105);
+  EXPECT_EQ(count_epoch(requests, 105, false), 5u);
+  EXPECT_EQ(count_epoch(requests, 105, true), 2u);
+}
+
+TEST(FastSwitch, Fig2Interleaves) {
+  Fig2 fig;
+  FastSwitchScheduler scheduler;
+  const auto requests = scheduler.schedule(fig.ctx, fig.candidates);
+  ASSERT_EQ(requests.size(), 7u);
+  const std::size_t s1 = count_epoch(requests, 105, false);
+  const std::size_t s2 = count_epoch(requests, 105, true);
+  // Both streams get a share (the paper's fast order mixes S1 and S2).
+  EXPECT_GE(s1, 3u);
+  EXPECT_GE(s2, 2u);
+  // And the orders interleave: an S2 request appears before the last S1.
+  std::size_t first_s2 = requests.size();
+  std::size_t last_s1 = 0;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (requests[i].id > 105 && first_s2 == requests.size()) first_s2 = i;
+    if (requests[i].id <= 105) last_s1 = i;
+  }
+  EXPECT_LT(first_s2, last_s1);
+}
+
+TEST(FastSwitch, SplitMatchesClosedForm) {
+  Fig2 fig;
+  FastSwitchScheduler scheduler;
+  (void)scheduler.schedule(fig.ctx, fig.candidates);
+  const RateSplit& split = scheduler.last_split();
+  const SplitInput in{5, 5, 10, 10, 7};
+  EXPECT_NEAR(split.r1, optimal_r1(in), 1e-9);
+}
+
+TEST(FastSwitch, NoSwitchMeansPlainPriority) {
+  Fig2 fig;
+  fig.ctx.s1_end = stream::kNoSegment;
+  fig.ctx.s2_begin = stream::kNoSegment;
+  FastSwitchScheduler fast;
+  NormalSwitchScheduler normal;
+  auto candidates_copy = fig.candidates;
+  const auto fast_requests = fast.schedule(fig.ctx, fig.candidates);
+  const auto normal_requests = normal.schedule(fig.ctx, candidates_copy);
+  // Outside a switch the two algorithms are the same smart-pull scheduler.
+  ASSERT_EQ(fast_requests.size(), normal_requests.size());
+  for (std::size_t i = 0; i < fast_requests.size(); ++i) {
+    EXPECT_EQ(fast_requests[i].id, normal_requests[i].id);
+    EXPECT_EQ(fast_requests[i].supplier, normal_requests[i].supplier);
+  }
+}
+
+TEST(Strategies, RespectBudget) {
+  Fig2 fig;
+  fig.ctx.max_requests = 3;
+  FastSwitchScheduler fast;
+  NormalSwitchScheduler normal;
+  auto copy = fig.candidates;
+  EXPECT_LE(fast.schedule(fig.ctx, fig.candidates).size(), 3u);
+  EXPECT_LE(normal.schedule(fig.ctx, copy).size(), 3u);
+}
+
+TEST(Strategies, NoDuplicateSegments) {
+  Fig2 fig;
+  FastSwitchScheduler fast;
+  const auto requests = fast.schedule(fig.ctx, fig.candidates);
+  std::set<stream::SegmentId> ids;
+  for (const auto& r : requests) EXPECT_TRUE(ids.insert(r.id).second);
+}
+
+TEST(Strategies, SuppliersComeFromCandidateLists) {
+  Fig2 fig;
+  FastSwitchScheduler fast;
+  const auto requests = fast.schedule(fig.ctx, fig.candidates);
+  for (const auto& r : requests) {
+    EXPECT_TRUE(r.supplier == 1u || r.supplier == 2u);
+  }
+}
+
+TEST(Strategies, EmptyCandidates) {
+  Fig2 fig;
+  std::vector<CandidateSegment> empty;
+  FastSwitchScheduler fast;
+  NormalSwitchScheduler normal;
+  EXPECT_TRUE(fast.schedule(fig.ctx, empty).empty());
+  EXPECT_TRUE(normal.schedule(fig.ctx, empty).empty());
+}
+
+TEST(Strategies, ZeroBudget) {
+  Fig2 fig;
+  fig.ctx.max_requests = 0;
+  FastSwitchScheduler fast;
+  EXPECT_TRUE(fast.schedule(fig.ctx, fig.candidates).empty());
+}
+
+TEST(FastSwitch, FillStageUsesLeftoverBudget) {
+  // With a huge budget, fast should not stop at I1+I2: remaining
+  // assignments are appended so inbound capacity is never idled.
+  Fig2 fig;
+  fig.ctx.max_requests = 10;
+  fig.ctx.inbound_rate = 7.0;  // split still computed from I=7
+  FastSwitchScheduler fast;
+  const auto requests = fast.schedule(fig.ctx, fig.candidates);
+  EXPECT_EQ(requests.size(), 10u);
+}
+
+TEST(FastSwitch, OnlyOldStreamCandidates) {
+  // All S2 already fetched: O2 empty; everything goes to S1.
+  Fig2 fig;
+  fig.candidates.resize(5);  // only the S1 ids remain
+  fig.ctx.q2_remaining = 0;
+  FastSwitchScheduler fast;
+  const auto requests = fast.schedule(fig.ctx, fig.candidates);
+  EXPECT_EQ(requests.size(), 5u);
+  EXPECT_EQ(count_epoch(requests, 105, true), 0u);
+}
+
+TEST(FastSwitch, OnlyNewStreamCandidates) {
+  Fig2 fig;
+  fig.candidates.erase(fig.candidates.begin(), fig.candidates.begin() + 5);
+  fig.ctx.q1_remaining = 0;
+  FastSwitchScheduler fast;
+  const auto requests = fast.schedule(fig.ctx, fig.candidates);
+  EXPECT_EQ(requests.size(), 5u);
+  EXPECT_EQ(count_epoch(requests, 105, false), 0u);
+}
+
+TEST(SortByPriority, DescendingClasses) {
+  Fig2 fig;
+  PriorityParams params;
+  const auto priorities = sort_by_priority(fig.ctx, fig.candidates, params);
+  for (std::size_t i = 1; i < priorities.size(); ++i) {
+    EXPECT_GE(priority_class(priorities[i - 1]), priority_class(priorities[i]));
+  }
+}
+
+TEST(PromoteFresh, MovesFreshPicksToFront) {
+  Fig2 fig;
+  fig.ctx.s1_end = stream::kNoSegment;  // steady state only
+  PriorityParams params;
+  params.diversity_fraction = 0.3;
+  util::Rng rng(5);
+  fig.ctx.rng = &rng;
+  auto priorities = sort_by_priority(fig.ctx, fig.candidates, params);
+  const auto n_fresh = static_cast<std::size_t>(
+      std::llround(params.diversity_fraction * static_cast<double>(fig.ctx.max_requests)));
+  promote_fresh_candidates(fig.ctx, fig.candidates, priorities, params);
+  // The first n_fresh entries must come from the freshest-3*n window.
+  std::vector<stream::SegmentId> ids;
+  for (const auto& c : fig.candidates) ids.push_back(c.id);
+  for (std::size_t i = 0; i < n_fresh; ++i) {
+    EXPECT_GE(ids[i], 110 - static_cast<stream::SegmentId>(3 * n_fresh) + 1);
+  }
+  // No candidates lost.
+  EXPECT_EQ(ids.size(), 10u);
+  std::sort(ids.begin(), ids.end());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(ids[i], 101 + static_cast<stream::SegmentId>(i));
+  }
+}
+
+TEST(PromoteFresh, DisabledByZeroFraction) {
+  Fig2 fig;
+  PriorityParams params;
+  params.diversity_fraction = 0.0;
+  auto priorities = sort_by_priority(fig.ctx, fig.candidates, params);
+  const auto before = fig.candidates;
+  promote_fresh_candidates(fig.ctx, fig.candidates, priorities, params);
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(fig.candidates[i].id, before[i].id);
+  }
+}
+
+}  // namespace
+}  // namespace gs::core

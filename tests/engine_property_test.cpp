@@ -1,0 +1,96 @@
+// End-to-end properties over randomized seeds (paired fast/normal runs).
+#include <gtest/gtest.h>
+
+#include "experiments/config.hpp"
+#include "experiments/runner.hpp"
+
+namespace gs::exp {
+namespace {
+
+class PairedRunTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PairedRunTest, HeadlineInvariants) {
+  const std::uint64_t seed = GetParam();
+  const std::size_t nodes = 120;
+
+  const RunResult fast =
+      run_once(Config::paper_static(nodes, AlgorithmKind::kFast, seed));
+  const RunResult normal =
+      run_once(Config::paper_static(nodes, AlgorithmKind::kNormal, seed));
+  const auto& mf = fast.primary();
+  const auto& mn = normal.primary();
+
+  // Everyone completes in a static run.
+  EXPECT_EQ(mf.prepared_s2, mf.tracked);
+  EXPECT_EQ(mn.prepared_s2, mn.tracked);
+  EXPECT_EQ(mf.finished_s1, mf.tracked);
+
+  // The fast algorithm never loses badly on the switch time (paired seed):
+  // allow a small tolerance for stochastic scheduling noise at this scale.
+  EXPECT_LE(mf.avg_prepared_time(), mn.avg_prepared_time() * 1.10)
+      << "fast lost by >10% on seed " << seed;
+
+  // The "compromise": fast may finish S1 later, but never dramatically
+  // (bounded by the equalized split).
+  EXPECT_LE(mf.avg_finish_time(), mn.avg_finish_time() * 1.5);
+
+  // Overhead in the paper's band for both, fast not meaningfully worse.
+  EXPECT_GT(mf.overhead_ratio, 0.002);
+  EXPECT_LT(mf.overhead_ratio, 0.05);
+  EXPECT_LT(mf.overhead_ratio, mn.overhead_ratio * 1.25);
+
+  // Times are physically sensible.
+  EXPECT_GT(mf.avg_prepared_time(), 1.0);
+  EXPECT_LT(mf.avg_prepared_time(), 60.0);
+  EXPECT_GE(mf.max_prepared_time(), mf.avg_prepared_time());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PairedRunTest, ::testing::Values(101, 202, 303, 404, 505));
+
+class DynamicRunTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DynamicRunTest, ChurnInvariants) {
+  const std::uint64_t seed = GetParam();
+  const RunResult result = run_once(Config::paper_dynamic(150, AlgorithmKind::kFast, seed));
+  const auto& m = result.primary();
+  // Full accounting: every tracked node either completed or was censored.
+  EXPECT_EQ(m.prepared_s2 + m.censored_prepare, m.tracked);
+  EXPECT_EQ(m.finished_s1 + m.censored_finish, m.tracked);
+  // Churn at 5%/period must not prevent the bulk from completing.
+  EXPECT_GT(m.completion_fraction(), 0.5);
+  EXPECT_GT(result.stats.joins, 0u);
+  EXPECT_GT(result.stats.leaves, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DynamicRunTest, ::testing::Values(11, 22, 33));
+
+TEST(ScaleTrend, SwitchTimeGrowsWithNetworkSize) {
+  // Fig. 6/7 shape: larger overlays have longer switch times.
+  const Config base = Config::paper_static(100, AlgorithmKind::kFast, 9);
+  const ComparisonPoint small = compare_at_size(base, 100, 2);
+  const ComparisonPoint large = compare_at_size(base, 800, 2);
+  EXPECT_GT(large.fast_switch_time, small.fast_switch_time);
+  EXPECT_GT(large.normal_switch_time, small.normal_switch_time);
+}
+
+TEST(TrackShape, FastCompromisesS1ForS2) {
+  // Fig. 5 shape at small scale: early in the switch the fast algorithm
+  // has MORE undelivered S1 (it diverted rate to S2) but MORE delivered S2
+  // than normal at the same instant.
+  const std::uint64_t seed = 77;
+  const RunResult fast = run_once(Config::paper_static(200, AlgorithmKind::kFast, seed));
+  const RunResult normal = run_once(Config::paper_static(200, AlgorithmKind::kNormal, seed));
+  const auto& tf = fast.primary().track;
+  const auto& tn = normal.primary().track;
+  ASSERT_GE(tf.size(), 5u);
+  ASSERT_GE(tn.size(), 5u);
+  // Compare at ~1/3 of the normal run's track length.
+  const std::size_t i = std::min(tn.size() / 3, tf.size() - 1);
+  EXPECT_GE(tf[i].undelivered_ratio_s1 + 0.02, tn[i].undelivered_ratio_s1)
+      << "fast should not drain S1 faster than normal";
+  EXPECT_GE(tf[i].delivered_ratio_s2 + 0.02, tn[i].delivered_ratio_s2)
+      << "fast should be ahead on S2 delivery";
+}
+
+}  // namespace
+}  // namespace gs::exp

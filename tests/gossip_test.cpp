@@ -1,0 +1,219 @@
+// Buffer-map wire format, overhead accounting, membership protocol.
+#include <gtest/gtest.h>
+
+#include "gossip/buffer_map.hpp"
+#include "gossip/membership.hpp"
+#include "gossip/message.hpp"
+#include "gossip/overhead.hpp"
+#include "net/topology.hpp"
+#include "util/rng.hpp"
+
+namespace gs::gossip {
+namespace {
+
+TEST(BufferMap, WindowSemantics) {
+  BufferMap map(100, 600);
+  EXPECT_EQ(map.base(), 100);
+  EXPECT_EQ(map.window(), 600u);
+  EXPECT_TRUE(map.in_window(100));
+  EXPECT_TRUE(map.in_window(699));
+  EXPECT_FALSE(map.in_window(99));
+  EXPECT_FALSE(map.in_window(700));
+}
+
+TEST(BufferMap, MarkAndQuery) {
+  BufferMap map(100, 600);
+  map.mark(100);
+  map.mark(350);
+  map.mark(699);
+  map.mark(99);    // outside: ignored
+  map.mark(1000);  // outside: ignored
+  EXPECT_EQ(map.available_count(), 3u);
+  EXPECT_TRUE(map.available(350));
+  EXPECT_FALSE(map.available(351));
+  EXPECT_FALSE(map.available(99));
+}
+
+TEST(BufferMap, FirstAvailable) {
+  BufferMap map(10, 100);
+  EXPECT_FALSE(map.first_available(0).has_value());
+  map.mark(50);
+  map.mark(20);
+  EXPECT_EQ(map.first_available(0).value(), 20);
+  EXPECT_EQ(map.first_available(21).value(), 50);
+  EXPECT_EQ(map.first_available(50).value(), 50);
+  EXPECT_FALSE(map.first_available(51).has_value());
+}
+
+TEST(BufferMap, WireBitsMatchPaper) {
+  // "getting the buffer information of one neighbor takes 620 bits".
+  BufferMap map(0, 600);
+  EXPECT_EQ(map.wire_bits(), 620u);
+}
+
+TEST(BufferMap, EncodeDecodeRoundTrip) {
+  util::Rng rng(1);
+  BufferMap map(12345, 600);
+  for (SegmentId id = 12345; id < 12345 + 600; ++id) {
+    if (rng.bernoulli(0.4)) map.mark(id);
+  }
+  const auto bytes = map.encode();
+  EXPECT_EQ(bytes.size(), 3u + 75u);
+  const BufferMap back = BufferMap::decode(bytes, 600, /*base_hint=*/12000);
+  EXPECT_EQ(back, map);
+}
+
+TEST(BufferMap, DecodeRecoversBaseAcross20BitWrap) {
+  // Bases beyond 2^20 are truncated on the wire; the hint disambiguates.
+  const SegmentId base = (SegmentId{1} << 20) + 777;
+  BufferMap map(base, 64);
+  map.mark(base + 5);
+  const BufferMap back = BufferMap::decode(map.encode(), 64, base - 100);
+  EXPECT_EQ(back.base(), base);
+  EXPECT_TRUE(back.available(base + 5));
+}
+
+TEST(WireFormat, PaperNumbers) {
+  constexpr WireFormat wire = paper_wire_format();
+  EXPECT_EQ(wire.buffer_map_bits(), 620u);
+  EXPECT_EQ(wire.data_bits(), 30u * 1024u);
+  EXPECT_EQ(wire.request_bits(3), 60u);
+}
+
+TEST(Overhead, PaperRatioApproximation) {
+  // S5.3: a node getting p=10 segments/s from M=5 neighbours pays
+  // 620*5 control bits per 10*30Kb data bits ~ 1%.
+  OverheadAccountant acc;
+  for (int period = 0; period < 100; ++period) {
+    for (int nb = 0; nb < 5; ++nb) acc.charge_buffer_map_exchange();
+    for (int seg = 0; seg < 10; ++seg) acc.charge_data_segment();
+  }
+  EXPECT_NEAR(acc.overhead_ratio(), 620.0 * 5 / (10.0 * 30 * 1024), 1e-9);
+  EXPECT_NEAR(acc.overhead_ratio(), 0.01, 0.002);
+}
+
+TEST(Overhead, DisabledWindowDropsCharges) {
+  OverheadAccountant acc;
+  acc.set_enabled(false);
+  acc.charge_buffer_map_exchange();
+  acc.charge_data_segment();
+  acc.charge_request(5);
+  EXPECT_EQ(acc.buffer_map_bits(), 0u);
+  EXPECT_EQ(acc.data_bits(), 0u);
+  acc.set_enabled(true);
+  acc.charge_data_segment();
+  EXPECT_EQ(acc.data_segments(), 1u);
+}
+
+TEST(Overhead, ControlRatioIncludesRequests) {
+  OverheadAccountant acc;
+  acc.charge_buffer_map_exchange();
+  acc.charge_request(10);
+  acc.charge_data_segment();
+  EXPECT_GT(acc.control_ratio(), acc.overhead_ratio());
+}
+
+TEST(Overhead, ZeroDataMeansZeroRatio) {
+  OverheadAccountant acc;
+  acc.charge_buffer_map_exchange();
+  EXPECT_EQ(acc.overhead_ratio(), 0.0);
+}
+
+TEST(Overhead, Reset) {
+  OverheadAccountant acc;
+  acc.charge_data_segment();
+  acc.reset();
+  EXPECT_EQ(acc.data_bits(), 0u);
+  EXPECT_EQ(acc.data_segments(), 0u);
+}
+
+class MembershipFixture : public ::testing::Test {
+ protected:
+  MembershipFixture() : rng_(99) {
+    graph_ = net::preferential_attachment(200, 2, rng_);
+    net::repair_min_degree(graph_, 5, rng_);
+    membership_ = std::make_unique<MembershipProtocol>(graph_, 5, rng_.fork(1), &overhead_);
+    membership_->bootstrap_all_live();
+  }
+
+  util::Rng rng_;
+  net::Graph graph_;
+  OverheadAccountant overhead_;
+  std::unique_ptr<MembershipProtocol> membership_;
+};
+
+TEST_F(MembershipFixture, BootstrapMarksAllLive) {
+  EXPECT_EQ(membership_->live_count(), 200u);
+  for (net::NodeId v = 0; v < 200; ++v) EXPECT_TRUE(membership_->alive(v));
+}
+
+TEST_F(MembershipFixture, JoinWiresToTargetDegree) {
+  const net::NodeId v = membership_->join();
+  EXPECT_EQ(v, 200u);
+  EXPECT_TRUE(membership_->alive(v));
+  EXPECT_EQ(graph_.degree(v), 5u);
+  EXPECT_EQ(membership_->live_count(), 201u);
+  EXPECT_EQ(membership_->join_count(), 1u);
+}
+
+TEST_F(MembershipFixture, LeaveDetachesAndRepairs) {
+  const net::NodeId victim = 42;
+  const std::vector<net::NodeId> old_neighbors(graph_.neighbors(victim).begin(),
+                                               graph_.neighbors(victim).end());
+  membership_->leave(victim);
+  EXPECT_FALSE(membership_->alive(victim));
+  EXPECT_EQ(graph_.degree(victim), 0u);
+  EXPECT_EQ(membership_->live_count(), 199u);
+  for (const net::NodeId u : old_neighbors) {
+    EXPECT_GE(graph_.degree(u), 5u) << "repair restored neighbour " << u;
+  }
+}
+
+TEST_F(MembershipFixture, OnJoinCallbackFires) {
+  net::NodeId seen = 0;
+  membership_->set_on_join([&](net::NodeId v) { seen = v; });
+  const net::NodeId v = membership_->join();
+  EXPECT_EQ(seen, v);
+}
+
+TEST_F(MembershipFixture, RandomLiveReturnsLiveNodes) {
+  membership_->leave(0);
+  membership_->leave(1);
+  for (int i = 0; i < 200; ++i) {
+    const net::NodeId v = membership_->random_live();
+    EXPECT_TRUE(membership_->alive(v));
+  }
+}
+
+TEST_F(MembershipFixture, ChurnStormKeepsInvariants) {
+  // The paper's dynamic setting: 5% leave + 5% join per period, here
+  // exaggerated over many rounds.  Live nodes must keep degree >= 5
+  // (when enough peers exist) and the live list must stay consistent.
+  util::Rng churn(7);
+  for (int round = 0; round < 50; ++round) {
+    for (int k = 0; k < 10; ++k) {
+      const net::NodeId victim = membership_->random_live();
+      membership_->leave(victim);
+    }
+    for (int k = 0; k < 10; ++k) (void)membership_->join();
+    membership_->repair_all();
+  }
+  EXPECT_EQ(membership_->live_count(), 200u);
+  EXPECT_EQ(membership_->leave_count(), 500u);
+  std::size_t checked = 0;
+  for (const net::NodeId v : membership_->live_nodes()) {
+    EXPECT_TRUE(membership_->alive(v));
+    EXPECT_GE(graph_.degree(v), 5u);
+    ++checked;
+  }
+  EXPECT_EQ(checked, 200u);
+}
+
+TEST_F(MembershipFixture, MembershipTrafficCharged) {
+  const auto before = overhead_.membership_bits();
+  (void)membership_->join();
+  EXPECT_GT(overhead_.membership_bits(), before);
+}
+
+}  // namespace
+}  // namespace gs::gossip

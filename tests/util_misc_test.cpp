@@ -1,0 +1,153 @@
+// CSV writer, flags parser, thread pool, logging helpers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+#include "util/flags.hpp"
+#include "util/logging.hpp"
+#include "util/thread_pool.hpp"
+
+namespace gs::util {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(Csv, EscapeRules) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("with,comma"), "\"with,comma\"");
+  EXPECT_EQ(CsvWriter::escape("with\"quote"), "\"with\"\"quote\"");
+  EXPECT_EQ(CsvWriter::escape("with\nnewline"), "\"with\nnewline\"");
+}
+
+TEST(Csv, WritesRows) {
+  const std::string path = temp_path("test.csv");
+  {
+    CsvWriter csv(path);
+    csv.write_row({"a", "b,c"});
+    csv.write_row({"1", "2"});
+    csv.flush();
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,\"b,c\"");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2");
+}
+
+TEST(Csv, ThrowsOnBadPath) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir-xyz/file.csv"), std::runtime_error);
+}
+
+TEST(Flags, DefaultsAndOverrides) {
+  Flags flags;
+  flags.define_int("count", 5, "a count");
+  flags.define("name", "bob", "a name");
+  flags.define_bool("verbose", false, "verbosity");
+  flags.define_double("rate", 1.5, "a rate");
+
+  const char* argv[] = {"prog", "--count=7", "--verbose", "--rate", "2.5"};
+  ASSERT_TRUE(flags.parse(5, const_cast<char**>(argv)));
+  EXPECT_EQ(flags.get_int("count"), 7);
+  EXPECT_EQ(flags.get("name"), "bob");
+  EXPECT_TRUE(flags.get_bool("verbose"));
+  EXPECT_DOUBLE_EQ(flags.get_double("rate"), 2.5);
+}
+
+TEST(Flags, UnknownFlagThrows) {
+  Flags flags;
+  const char* argv[] = {"prog", "--bogus=1"};
+  EXPECT_THROW((void)flags.parse(2, const_cast<char**>(argv)), std::runtime_error);
+}
+
+TEST(Flags, BadIntThrows) {
+  Flags flags;
+  flags.define_int("n", 1, "");
+  const char* argv[] = {"prog", "--n=abc"};
+  ASSERT_TRUE(flags.parse(2, const_cast<char**>(argv)));
+  EXPECT_THROW((void)flags.get_int("n"), std::runtime_error);
+}
+
+TEST(Flags, Positional) {
+  Flags flags;
+  const char* argv[] = {"prog", "file1", "file2"};
+  ASSERT_TRUE(flags.parse(3, const_cast<char**>(argv)));
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "file1");
+}
+
+TEST(Flags, UsageListsFlags) {
+  Flags flags;
+  flags.define_int("alpha", 1, "the alpha");
+  const std::string usage = flags.usage("prog");
+  EXPECT_NE(usage.find("--alpha"), std::string::npos);
+  EXPECT_NE(usage.find("the alpha"), std::string::npos);
+}
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4u);
+  auto f = pool.submit([] { return 41 + 1; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW((void)f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallel_for(100, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForZeroIterations) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [](std::size_t) { FAIL() << "must not run"; });
+}
+
+TEST(ThreadPool, ParallelForPropagatesFirstError) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(50,
+                                 [](std::size_t i) {
+                                   if (i == 13) throw std::runtime_error("unlucky");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, ManyMoreTasksThanThreads) {
+  ThreadPool pool(2);
+  std::atomic<int> sum{0};
+  pool.parallel_for(1000, [&](std::size_t i) { sum.fetch_add(static_cast<int>(i % 7)); });
+  int expected = 0;
+  for (int i = 0; i < 1000; ++i) expected += i % 7;
+  EXPECT_EQ(sum.load(), expected);
+}
+
+TEST(Logging, ParseLevels) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("WARN"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("garbage"), LogLevel::kInfo);
+}
+
+TEST(Logging, SetAndGetLevel) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  GS_LOG_DEBUG << "should be suppressed";
+  set_log_level(before);
+}
+
+}  // namespace
+}  // namespace gs::util

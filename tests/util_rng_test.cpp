@@ -1,0 +1,206 @@
+// RNG determinism, distribution sanity, and stream independence.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace gs::util {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, ReseedRestartsSequence) {
+  Rng a(7);
+  const auto first = a();
+  a.reseed(7);
+  EXPECT_EQ(a(), first);
+}
+
+TEST(Rng, ForkIsIndependentOfParentConsumption) {
+  // fork() derives from the seed, not the current state: consuming the
+  // parent must not change the child stream.
+  Rng a(99);
+  Rng child_before = a.fork(5);
+  for (int i = 0; i < 100; ++i) (void)a();
+  Rng child_after = a.fork(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(child_before(), child_after());
+}
+
+TEST(Rng, ForkDistinctKeysDistinctStreams) {
+  Rng a(99);
+  Rng c1 = a.fork(1);
+  Rng c2 = a.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (c1() == c2()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(4);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) stats.add(rng.uniform());
+  EXPECT_NEAR(stats.mean(), 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(5);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 10000; ++i) seen.insert(rng.uniform_int(3, 7));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), 3);
+  EXPECT_EQ(*seen.rbegin(), 7);
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(6);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform_int(9, 9), 9);
+}
+
+TEST(Rng, UniformIntUnbiasedAcrossBuckets) {
+  Rng rng(7);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[static_cast<std::size_t>(rng.uniform_int(0, 9))];
+  for (int c : counts) EXPECT_NEAR(c, n / 10, n / 10 * 0.1);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(8);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(9);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) stats.add(rng.exponential(2.0));
+  EXPECT_NEAR(stats.mean(), 0.5, 0.02);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(10);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) stats.add(rng.normal(3.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 3.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, BetaMeanMatchesShape) {
+  Rng rng(11);
+  RunningStats stats;
+  const double alpha = 1.2;
+  const double beta = 4.8;
+  for (int i = 0; i < 100000; ++i) {
+    const double x = rng.beta(alpha, beta);
+    EXPECT_GE(x, 0.0);
+    EXPECT_LE(x, 1.0);
+    stats.add(x);
+  }
+  EXPECT_NEAR(stats.mean(), alpha / (alpha + beta), 0.01);
+}
+
+TEST(Rng, ParetoRespectsScale) {
+  Rng rng(12);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(rng.pareto(10.0, 1.5), 10.0);
+}
+
+TEST(Rng, ParetoMedian) {
+  Rng rng(13);
+  std::vector<double> samples;
+  for (int i = 0; i < 100000; ++i) samples.push_back(rng.pareto(1.0, 2.0));
+  // Median of Pareto(x_m, a) is x_m * 2^(1/a).
+  EXPECT_NEAR(percentile(samples, 0.5), std::pow(2.0, 0.5), 0.02);
+}
+
+TEST(Rng, ShufflePreservesMultiset) {
+  Rng rng(14);
+  std::vector<int> items{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = items;
+  rng.shuffle(items);
+  std::sort(items.begin(), items.end());
+  EXPECT_EQ(items, sorted);
+}
+
+TEST(Rng, ShuffleActuallyPermutes) {
+  Rng rng(15);
+  std::vector<int> items(100);
+  for (int i = 0; i < 100; ++i) items[static_cast<std::size_t>(i)] = i;
+  auto original = items;
+  rng.shuffle(items);
+  EXPECT_NE(items, original);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(16);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto picks = rng.sample_without_replacement(50, 10);
+    ASSERT_EQ(picks.size(), 10u);
+    std::set<std::size_t> unique(picks.begin(), picks.end());
+    EXPECT_EQ(unique.size(), 10u);
+    for (std::size_t p : picks) EXPECT_LT(p, 50u);
+  }
+}
+
+TEST(Rng, SampleWithoutReplacementFullSet) {
+  Rng rng(17);
+  const auto picks = rng.sample_without_replacement(5, 5);
+  std::set<std::size_t> unique(picks.begin(), picks.end());
+  EXPECT_EQ(unique.size(), 5u);
+}
+
+TEST(Rng, SampleWithoutReplacementUniform) {
+  Rng rng(18);
+  std::vector<int> counts(10, 0);
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    for (std::size_t p : rng.sample_without_replacement(10, 3)) ++counts[p];
+  }
+  for (int c : counts) EXPECT_NEAR(c, trials * 3 / 10, trials * 3 / 10 * 0.1);
+}
+
+TEST(HashName, StableAndDistinct) {
+  EXPECT_EQ(hash_name("churn"), hash_name("churn"));
+  EXPECT_NE(hash_name("churn"), hash_name("topology"));
+  EXPECT_NE(hash_name(""), hash_name("a"));
+}
+
+TEST(Splitmix, KnownProperties) {
+  // Different inputs give different outputs; zero input is not a fixpoint.
+  EXPECT_NE(splitmix64(0), 0u);
+  EXPECT_NE(splitmix64(1), splitmix64(2));
+}
+
+}  // namespace
+}  // namespace gs::util
