@@ -12,13 +12,13 @@ int main(int argc, char** argv) {
 
   for (const auto model : {gs::stream::SupplierCapacityModel::kSharedFifo,
                            gs::stream::SupplierCapacityModel::kPerLink}) {
-    const bool shared = model == gs::stream::SupplierCapacityModel::kSharedFifo;
     gs::exp::Config base =
         gs::exp::Config::paper_static(1000, gs::exp::AlgorithmKind::kFast, options.seed);
     base.engine.supplier_capacity = model;
     const auto points = gs::exp::sweep_sizes(base, options.sizes, options.trials);
     gs::exp::print_switch_reduction(
-        std::string("A6: supplier capacity = ") + (shared ? "shared FIFO" : "per-link"), points);
+        std::string("A6: supplier capacity = ") + std::string(gs::stream::to_string(model)),
+        points);
   }
   std::printf("\nexpect the reduction ratio to collapse under per-link capacity: without\n"
               "uplink contention the S1-first order costs the normal algorithm little.\n");

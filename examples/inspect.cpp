@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
   flags.define_int("nodes", 200, "overlay size");
   flags.define_int("seed", 7, "experiment seed");
   flags.define("algorithm", "fast", "fast|normal");
+  flags.define("capacity", "shared-fifo", "supplier capacity model: shared-fifo|per-link");
   flags.define_bool("dynamic", false, "apply churn");
   if (!flags.parse(argc, argv)) return 0;
 
@@ -23,6 +24,7 @@ int main(int argc, char** argv) {
       gs::exp::algorithm_from_string(flags.get("algorithm")),
       static_cast<std::uint64_t>(flags.get_int("seed")));
   if (flags.get_bool("dynamic")) config.enable_churn();
+  config.engine.supplier_capacity = gs::exp::capacity_from_string(flags.get("capacity"));
   config.engine.debug_series = true;
 
   auto engine = gs::exp::make_engine(config);
@@ -30,8 +32,9 @@ int main(int argc, char** argv) {
   const auto& m = metrics.front();
   const auto& stats = engine->stats();
 
-  std::printf("=== run summary (%s, %zu nodes) ===\n", flags.get("algorithm").c_str(),
-              config.node_count);
+  std::printf("=== run summary (%s, %zu nodes, %s capacity) ===\n",
+              flags.get("algorithm").c_str(), config.node_count,
+              std::string(gs::stream::to_string(config.engine.supplier_capacity)).c_str());
   std::printf("generated=%llu delivered=%llu requests=%llu rejected=%llu dups=%llu\n",
               (unsigned long long)stats.segments_generated,
               (unsigned long long)stats.segments_delivered,

@@ -2,8 +2,8 @@
 // line without writing code.  The figure benches are fixed recipes; this
 // tool exposes the whole configuration surface for custom studies.
 //
-//   ./sweep_cli --sizes 200,1000 --trials 3 --topology ring --churn 0.05 \
-//               --qs 80 --neighbor 7 --csv out.csv
+//   ./sweep_cli --sizes 200,1000 --trials 3 --topology ring --churn 0.05
+//   ./sweep_cli --sizes 500 --qs 80 --neighbor 7 --capacity per-link --csv out.csv
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -47,7 +47,7 @@ int main(int argc, char** argv) {
   flags.define_double("source-outbound", 120.0, "source outbound rate (segments/s)");
   flags.define_double("diversity", 0.25, "substrate diversity reservation fraction");
   flags.define_bool("traditional-rarity", false, "use 1/n rarity instead of eq. 8");
-  flags.define_bool("per-link", false, "per-link supplier capacity (ablation model)");
+  flags.define("capacity", "shared-fifo", "supplier capacity model: shared-fifo|per-link");
   flags.define_bool("push", false, "enable GridMedia-style fresh-segment push");
   flags.define_int("push-fanout", 2, "push fanout when --push");
   flags.define("csv", "", "write the comparison table to this CSV");
@@ -66,9 +66,7 @@ int main(int argc, char** argv) {
   base.engine.source_outbound = flags.get_double("source-outbound");
   base.priority.diversity_fraction = flags.get_double("diversity");
   base.priority.traditional_rarity = flags.get_bool("traditional-rarity");
-  if (flags.get_bool("per-link")) {
-    base.engine.supplier_capacity = gs::stream::SupplierCapacityModel::kPerLink;
-  }
+  base.engine.supplier_capacity = gs::exp::capacity_from_string(flags.get("capacity"));
   base.engine.push_fresh_segments = flags.get_bool("push");
   base.engine.push_fanout = static_cast<std::size_t>(flags.get_int("push-fanout"));
 

@@ -38,6 +38,14 @@ AlgorithmKind algorithm_from_string(std::string_view name) {
   throw std::invalid_argument("unknown algorithm: " + std::string(name));
 }
 
+stream::SupplierCapacityModel capacity_from_string(std::string_view name) {
+  for (const auto kind : {stream::SupplierCapacityModel::kSharedFifo,
+                          stream::SupplierCapacityModel::kPerLink}) {
+    if (name == stream::to_string(kind)) return kind;
+  }
+  throw std::invalid_argument("unknown capacity model: " + std::string(name));
+}
+
 TopologyKind topology_from_string(std::string_view name) {
   if (name == "synthetic-trace") return TopologyKind::kSyntheticTrace;
   if (name == "preferential") return TopologyKind::kPreferential;

@@ -26,8 +26,11 @@ enum class AlgorithmKind : std::uint8_t {
 
 [[nodiscard]] std::string_view to_string(TopologyKind kind) noexcept;
 [[nodiscard]] std::string_view to_string(AlgorithmKind kind) noexcept;
+// SupplierCapacityModel's to_string lives with the enum in
+// stream/transfer_plane.hpp (found via ADL).
 [[nodiscard]] AlgorithmKind algorithm_from_string(std::string_view name);
 [[nodiscard]] TopologyKind topology_from_string(std::string_view name);
+[[nodiscard]] stream::SupplierCapacityModel capacity_from_string(std::string_view name);
 
 struct Config {
   std::size_t node_count = 1000;

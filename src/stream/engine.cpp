@@ -1,23 +1,15 @@
+// Orchestration: the per-tick pipeline, the data path and the switch
+// bookkeeping that spans subsystems.  Setup, churn and the run loop live in
+// engine_lifecycle.cpp.
 #include "stream/engine.hpp"
 
 #include <algorithm>
-#include <cmath>
+#include <unordered_map>
 
 #include "util/check.hpp"
 #include "util/logging.hpp"
 
 namespace gs::stream {
-
-namespace {
-/// First id >= `from` that is clear in `bits` (ids beyond the bitset's size
-/// are implicitly clear).
-SegmentId next_missing(const util::DynamicBitset& bits, SegmentId from) {
-  GS_CHECK_GE(from, 0);
-  if (static_cast<std::size_t>(from) >= bits.size()) return from;
-  const std::size_t pos = bits.find_first_clear(static_cast<std::size_t>(from));
-  return static_cast<SegmentId>(pos);  // == bits.size() means "just past", still correct
-}
-}  // namespace
 
 Engine::Engine(net::Graph graph, net::LatencyModel latency, EngineConfig config,
                std::shared_ptr<SchedulerStrategy> strategy)
@@ -29,6 +21,8 @@ Engine::Engine(net::Graph graph, net::LatencyModel latency, EngineConfig config,
       overhead_(config_.wire),
       membership_(graph_, config_.membership_degree,
                   util::Rng(config_.seed).fork(util::hash_name("membership")), &overhead_),
+      transfers_(sim_, latency_, config_.supplier_capacity, config_.accept_horizon,
+                 [this](net::NodeId to, SegmentId id) { on_delivery(to, id); }),
       churn_rng_(util::Rng(config_.seed).fork(util::hash_name("churn"))),
       setup_rng_(util::Rng(config_.seed).fork(util::hash_name("setup"))) {
   GS_CHECK(strategy_ != nullptr);
@@ -38,118 +32,50 @@ Engine::Engine(net::Graph graph, net::LatencyModel latency, EngineConfig config,
 }
 
 void Engine::set_sources(std::vector<net::NodeId> sources, std::vector<double> switch_times) {
-  GS_CHECK_GE(sources.size(), 1u);
-  GS_CHECK_EQ(switch_times.size(), sources.size() - 1);
-  for (std::size_t i = 1; i < switch_times.size(); ++i) {
-    GS_CHECK_LT(switch_times[i - 1], switch_times[i]);
-  }
-  sessions_.clear();
-  for (net::NodeId src : sources) {
-    GS_CHECK_LT(src, graph_.node_count());
-    Session session;
-    session.source = src;
-    sessions_.push_back(session);
-  }
-  switch_times_ = std::move(switch_times);
-  metrics_.assign(switch_times_.size(), SwitchMetrics{});
-  for (std::size_t i = 0; i < metrics_.size(); ++i) {
-    metrics_[i].switch_index = static_cast<int>(i);
-    metrics_[i].switch_time = switch_times_[i];
-  }
+  timeline_.set_sources(graph_.node_count(), std::move(sources), std::move(switch_times));
 }
 
-const Peer& Engine::peer(net::NodeId v) const {
+const PeerNode& Engine::peer(net::NodeId v) const {
   GS_CHECK_LT(v, peers_.size());
   return peers_[v];
 }
 
-Engine::OverheadSnapshot Engine::take_overhead_snapshot() const {
-  OverheadSnapshot snap;
-  snap.buffer_map_bits = overhead_.buffer_map_bits();
-  snap.request_bits = overhead_.request_bits();
-  snap.data_bits = overhead_.data_bits();
-  snap.data_segments = overhead_.data_segments();
-  return snap;
-}
-
-void Engine::init_peers() {
-  peers_.resize(graph_.node_count());
-  std::vector<char> is_source(graph_.node_count(), 0);
-  for (const Session& s : sessions_) is_source[s.source] = 1;
-  for (net::NodeId v = 0; v < graph_.node_count(); ++v) {
-    Peer& p = peers_[v];
-    p.id = v;
-    p.is_source = is_source[v] != 0;
-    util::Rng node_setup = setup_rng_.fork(v);
-    if (p.is_source) {
-      p.inbound_rate = 0.0;
-      p.outbound_rate = config_.source_outbound;
-    } else {
-      p.inbound_rate = config_.inbound.sample(node_setup);
-      p.outbound_rate = config_.outbound.sample(node_setup);
-    }
-    p.in_budget = RateBudget(p.inbound_rate, config_.budget_carry);
-    p.buffer = StreamBuffer(config_.buffer_capacity);
-    p.playback = Playback(config_.playback_rate);
-    p.rng = util::Rng(config_.seed).fork(util::hash_name("peer")).fork(v);
-    p.start_id = 0;
-  }
-  membership_.bootstrap_all_live();
-  for (net::NodeId v = 0; v < graph_.node_count(); ++v) start_peer_tick(peers_[v]);
-}
-
-void Engine::start_peer_tick(Peer& p) {
-  if (p.is_source) return;  // sources never pull
-  const double offset =
-      config_.stagger_ticks ? p.rng.uniform(0.0, config_.tau) : 0.0;
-  const net::NodeId id = p.id;
-  p.tick_task = std::make_unique<sim::PeriodicTask>(
-      sim_, sim_.now() + offset, config_.tau,
-      [this, id](double now) { tick(peers_[id], now); });
-}
-
 void Engine::start_session(SessionIndex k) {
-  GS_CHECK_LT(static_cast<std::size_t>(k), sessions_.size());
-  sessions_[k].start_time = sim_.now();
+  timeline_.session(static_cast<std::size_t>(k)).start_time = sim_.now();
   const double interval = 1.0 / config_.playback_rate;
   generation_task_ = std::make_unique<sim::PeriodicTask>(
       sim_, sim_.now(), interval, [this, k](double now) { generate_segment(k, now); });
 }
 
 void Engine::generate_segment(SessionIndex k, double now) {
-  const SegmentId announce = k > 0 ? sessions_[k - 1].last : kNoSegment;
+  const SegmentId announce =
+      k > 0 ? timeline_.session(static_cast<std::size_t>(k) - 1).last : kNoSegment;
   const SegmentId id = registry_.append(k, now, announce);
-  if (sessions_[k].first == kNoSegment) sessions_[k].first = id;
+  Session& session = timeline_.session(static_cast<std::size_t>(k));
+  if (session.first == kNoSegment) session.first = id;
   ++stats_.segments_generated;
-  Peer& src = peers_[sessions_[k].source];
+  PeerNode& src = peers_[session.source];
   // Locally generated: fills the buffer/availability but is not wire data.
   deliver_segment(src, id, now, /*count_wire=*/false);
 }
 
 void Engine::schedule_switch(int switch_index) {
-  sim_.at(switch_times_[switch_index], [this, switch_index] {
+  sim_.at(timeline_.switch_times()[static_cast<std::size_t>(switch_index)],
+          [this, switch_index] {
     const double now = sim_.now();
-    current_switch_ = switch_index;
-    Session& old = sessions_[switch_index];
-    GS_CHECK(old.started());
-    old.last = registry_.next_id() - 1;
-    session_end_index_[old.last] = switch_index;
+    timeline_.begin_switch(switch_index, now, registry_.next_id() - 1);
     generation_task_->cancel();
 
     if (switch_index == 0) overhead_.set_enabled(true);
-    overhead_snapshots_.push_back(take_overhead_snapshot());
+    timeline_.capture_overhead(overhead_);
 
-    SwitchMetrics& m = metrics_[switch_index];
-    m.switch_time = now;
-
-    for (Peer& p : peers_) {
+    SwitchMetrics& m = timeline_.metrics(switch_index);
+    const Session& old = timeline_.session(static_cast<std::size_t>(switch_index));
+    for (PeerNode& p : peers_) {
       if (p.is_source || !p.alive) continue;
       // A peer still mid-way through the previous switch is censored there.
-      if (p.tracked && p.active_switch >= 0 && p.active_switch < switch_index) {
-        if (!p.sw_finished) ++metrics_[p.active_switch].censored_finish;
-        if (!p.sw_prepared) ++metrics_[p.active_switch].censored_prepare;
-      }
-      init_switch_counters(p, switch_index);
+      timeline_.censor_stale(p, switch_index);
+      timeline_.init_switch_counters(p, switch_index, now, config_.q_startup);
       p.tracked = true;
       ++m.tracked;
       // Rare: the peer already played past the old stream's end (it was at
@@ -161,67 +87,21 @@ void Engine::schedule_switch(int switch_index) {
 
     // The new source learns the boundary immediately (it is told when S1
     // stops; §3's synchronisation assumption).
-    Peer& next_source = peers_[sessions_[switch_index + 1].source];
+    PeerNode& next_source =
+        peers_[timeline_.session(static_cast<std::size_t>(switch_index) + 1).source];
     next_source.known_boundary = std::max(next_source.known_boundary, switch_index);
 
     start_session(switch_index + 1);
   });
 }
 
-void Engine::init_switch_counters(Peer& p, int switch_index) {
-  const Session& old = sessions_[switch_index];
-  GS_CHECK(old.ended());
-  // A still-armed gate from the previous switch becomes moot once an even
-  // newer session exists (serial model: the peer follows the stream; its
-  // startup buffering now concerns the newest boundary).  Release it so
-  // the new switch can gate at its own boundary.
-  if (p.gate_armed && p.playback.gate() != kNoSegment) {
-    p.playback.release_gate(sim_.now());
-  }
-  p.active_switch = switch_index;
-  p.sw_lo = std::max(old.first, p.start_id);
-  p.q1_missing = count_missing(p, p.sw_lo, old.last);
-  p.q0_at_switch = p.q1_missing;
-  const SegmentId begin = old.last + 1;
-  const auto prefix = static_cast<SegmentId>(required_prefix(switch_index));
-  p.q2_missing = count_missing(p, begin, begin + prefix - 1);
-  p.sw_finished = false;
-  p.sw_prepared = false;
-  p.gate_armed = false;
-}
-
-std::size_t Engine::required_prefix(int switch_index) const {
-  const Session& next = sessions_[switch_index + 1];
-  if (next.ended()) {
-    return std::min<std::size_t>(config_.q_startup,
-                                 static_cast<std::size_t>(next.last - next.first + 1));
-  }
-  return config_.q_startup;
-}
-
-std::size_t Engine::count_missing(const Peer& p, SegmentId lo, SegmentId hi) const {
-  if (lo > hi) return 0;
-  std::size_t missing = 0;
-  for (SegmentId id = lo; id <= hi; ++id) {
-    if (static_cast<std::size_t>(id) >= p.received.size() ||
-        !p.received.test(static_cast<std::size_t>(id))) {
-      ++missing;
-    }
-  }
-  return missing;
-}
-
 // ---------------------------------------------------------------- tick ---
 
-void Engine::tick(Peer& p, double now) {
+void Engine::tick(PeerNode& p, double now) {
   if (!p.alive || p.is_source) return;
   p.in_budget.replenish(config_.tau);
   snapshot_and_learn(p);
-
-  // Drop expired in-flight entries so the segments become requestable again.
-  for (auto it = p.pending.begin(); it != p.pending.end();) {
-    it = it->second <= now ? p.pending.erase(it) : std::next(it);
-  }
+  p.prune_pending(now);
 
   advance_playback(p, now);
   maybe_start_playback(p, now);
@@ -244,7 +124,7 @@ void Engine::tick(Peer& p, double now) {
   const bool split_active = p.active_switch >= 0 && p.known_boundary >= p.active_switch &&
                             !p.sw_prepared;
   if (split_active) {
-    ctx.s1_end = sessions_[p.active_switch].last;
+    ctx.s1_end = timeline_.session(static_cast<std::size_t>(p.active_switch)).last;
     ctx.s2_begin = ctx.s1_end + 1;
     ctx.q1_remaining = p.q1_missing;
     ctx.q2_remaining = p.q2_missing;
@@ -257,7 +137,7 @@ void Engine::tick(Peer& p, double now) {
   // period when an alternate neighbour also holds the segment).
   std::unordered_map<SegmentId, const CandidateSegment*> by_id;
   by_id.reserve(candidates.size());
-  const std::vector<ScheduledRequest> requests = strategy_->schedule(ctx, candidates);
+  const std::vector<ScheduledRequest> requests = p.strategy->schedule(ctx, candidates);
   for (const CandidateSegment& c : candidates) by_id.emplace(c.id, &c);
   scheduled_seen_ += requests.size();
   if (split_active) {
@@ -281,10 +161,10 @@ void Engine::tick(Peer& p, double now) {
   }
 }
 
-void Engine::snapshot_and_learn(Peer& p) {
+void Engine::snapshot_and_learn(PeerNode& p) {
   int best_boundary = p.known_boundary;
   for (const net::NodeId nb : graph_.neighbors(p.id)) {
-    const Peer& n = peers_[nb];
+    const PeerNode& n = peers_[nb];
     if (!n.alive) continue;
     overhead_.charge_buffer_map_exchange();
     if (config_.discover_via_maps) best_boundary = std::max(best_boundary, n.known_boundary);
@@ -292,14 +172,14 @@ void Engine::snapshot_and_learn(Peer& p) {
   if (best_boundary > p.known_boundary) learn_boundaries(p, best_boundary, sim_.now());
 }
 
-std::vector<CandidateSegment> Engine::build_candidates(Peer& p, double now) {
+std::vector<CandidateSegment> Engine::build_candidates(PeerNode& p, double now) {
   std::vector<CandidateSegment> out;
   const SegmentId from = p.playback.started() ? p.playback.cursor() : p.start_id;
 
   SegmentId head = kNoSegment;
   const auto neighbors = graph_.neighbors(p.id);
   for (const net::NodeId nb : neighbors) {
-    const Peer& n = peers_[nb];
+    const PeerNode& n = peers_[nb];
     if (n.alive) head = std::max(head, n.buffer.max_id());
   }
   if (head == kNoSegment || head < from) return out;
@@ -308,7 +188,9 @@ std::vector<CandidateSegment> Engine::build_candidates(Peer& p, double now) {
 
   const bool split_active =
       p.active_switch >= 0 && p.known_boundary >= p.active_switch;
-  const SegmentId boundary = split_active ? sessions_[p.active_switch].last : kNoSegment;
+  const SegmentId boundary =
+      split_active ? timeline_.session(static_cast<std::size_t>(p.active_switch)).last
+                   : kNoSegment;
 
   for (SegmentId id = next_missing(p.received, from); id <= to;
        id = next_missing(p.received, id + 1)) {
@@ -318,7 +200,7 @@ std::vector<CandidateSegment> Engine::build_candidates(Peer& p, double now) {
     c.id = id;
     c.epoch = (boundary != kNoSegment && id > boundary) ? StreamEpoch::kNew : StreamEpoch::kOld;
     for (const net::NodeId nb : neighbors) {
-      const Peer& n = peers_[nb];
+      const PeerNode& n = peers_[nb];
       if (!n.alive || !n.buffer.contains(id)) continue;
       SupplierView s;
       s.node = nb;
@@ -328,13 +210,7 @@ std::vector<CandidateSegment> Engine::build_candidates(Peer& p, double now) {
       // a real system reflects the link's current load.  Expose the backlog
       // as the initial queueing estimate so requesters spread load instead
       // of herding onto the nominally fastest supplier.
-      if (config_.supplier_capacity == SupplierCapacityModel::kSharedFifo) {
-        s.queue_delay = std::max(0.0, n.out_busy_until - now);
-      } else {
-        const auto it = p.link_busy_until.find(nb);
-        s.queue_delay =
-            it == p.link_busy_until.end() ? 0.0 : std::max(0.0, it->second - now);
-      }
+      s.queue_delay = transfers_.queue_delay(p.id, nb, now);
       c.suppliers.push_back(s);
     }
     if (!c.suppliers.empty()) out.push_back(std::move(c));
@@ -342,68 +218,37 @@ std::vector<CandidateSegment> Engine::build_candidates(Peer& p, double now) {
   return out;
 }
 
-bool Engine::issue_one(Peer& p, SegmentId id, net::NodeId supplier, double now) {
+bool Engine::issue_one(PeerNode& p, SegmentId id, net::NodeId supplier, double now) {
   GS_CHECK_LT(supplier, peers_.size());
-  Peer& s = peers_[supplier];
-  if (!s.alive || !s.buffer.contains(id)) {
+  PeerNode& s = peers_[supplier];
+  if (!s.alive || !s.buffer.contains(id) || !transfers_.request(p, s, id, now)) {
     ++p.requests_rejected;
     ++stats_.requests_rejected;
     return false;
   }
-  double backlog_end;
-  if (config_.supplier_capacity == SupplierCapacityModel::kSharedFifo) {
-    backlog_end = s.out_busy_until;
-  } else {
-    const auto it = p.link_busy_until.find(supplier);
-    backlog_end = it == p.link_busy_until.end() ? now : it->second;
-  }
-  const double start = std::max(now, backlog_end);
-  if (start - now > config_.accept_horizon) {
-    // Link/supplier backlog too deep; the node retries elsewhere next period.
-    ++p.requests_rejected;
-    ++stats_.requests_rejected;
-    return false;
-  }
-  const double tx = 1.0 / s.outbound_rate;
-  if (config_.supplier_capacity == SupplierCapacityModel::kSharedFifo) {
-    s.out_busy_until = start + tx;
-  } else {
-    p.link_busy_until[supplier] = start + tx;
-  }
-  const double deliver_at = start + tx + latency_.jittered_delay_s(p.id, supplier, p.rng);
-
   overhead_.charge_request(1);
   p.in_budget.spend(1.0);
   p.pending[id] = now + config_.pending_timeout;
   ++p.requests_issued;
   ++stats_.requests_issued;
-
-  const net::NodeId to = p.id;
-  sim_.after(deliver_at - now, [this, to, id] { on_delivery(to, id); });
   return true;
 }
 
 // ----------------------------------------------------------- data path ---
 
 void Engine::on_delivery(net::NodeId to, SegmentId id) {
-  Peer& p = peers_[to];
+  PeerNode& p = peers_[to];
   p.pending.erase(id);
   if (!p.alive) return;  // left while the segment was in flight
   deliver_segment(p, id, sim_.now(), /*count_wire=*/true);
 }
 
-void Engine::deliver_segment(Peer& p, SegmentId id, double now, bool count_wire) {
-  if (static_cast<std::size_t>(id) >= p.received.size()) {
-    p.received.resize(std::max<std::size_t>(static_cast<std::size_t>(id) + 1,
-                                            p.received.size() * 2 + 64));
-  }
-  if (p.received.test(static_cast<std::size_t>(id))) {
+void Engine::deliver_segment(PeerNode& p, SegmentId id, double now, bool count_wire) {
+  if (!p.mark_received(id)) {
     ++p.duplicates_received;
     ++stats_.duplicates;
     return;
   }
-  p.received.set(static_cast<std::size_t>(id));
-  p.buffer.insert(id);
   if (count_wire) {
     overhead_.charge_data_segment();
     ++stats_.segments_delivered;
@@ -416,12 +261,7 @@ void Engine::deliver_segment(Peer& p, SegmentId id, double now, bool count_wire)
   }
 
   // Startup rule bookkeeping: extend the contiguous run from start_id.
-  if (id >= p.start_id) {
-    while (static_cast<std::size_t>(p.start_id) + p.start_run < p.received.size() &&
-           p.received.test(static_cast<std::size_t>(p.start_id) + p.start_run)) {
-      ++p.start_run;
-    }
-  }
+  if (id >= p.start_id) p.extend_start_run();
 
   if (!p.is_source) {
     on_switch_progress(p, id, now);
@@ -432,7 +272,7 @@ void Engine::deliver_segment(Peer& p, SegmentId id, double now, bool count_wire)
   }
 }
 
-void Engine::push_to_neighbors(Peer& p, SegmentId id, double now) {
+void Engine::push_to_neighbors(PeerNode& p, SegmentId id, double now) {
   // GridMedia-style relay: forward a fresh segment to random neighbours
   // that (by our availability view) lack it.  Costs outbound capacity and
   // data bits; duplicates arriving concurrently are counted as redundancy.
@@ -440,34 +280,29 @@ void Engine::push_to_neighbors(Peer& p, SegmentId id, double now) {
   if (neighbors.empty()) return;
   std::vector<net::NodeId> lacking;
   for (const net::NodeId nb : neighbors) {
-    const Peer& n = peers_[nb];
+    const PeerNode& n = peers_[nb];
     if (n.alive && !n.buffer.contains(id)) lacking.push_back(nb);
   }
   p.rng.shuffle(lacking);
   std::size_t pushed = 0;
   for (const net::NodeId nb : lacking) {
     if (pushed >= config_.push_fanout) break;
-    const double start = std::max(now, p.out_busy_until);
-    if (start - now > config_.accept_horizon) break;  // own uplink saturated
-    const double tx = 1.0 / p.outbound_rate;
-    p.out_busy_until = start + tx;
-    const double deliver_at = start + tx + latency_.jittered_delay_s(nb, p.id, p.rng);
+    if (!transfers_.push(p, nb, id, now)) break;  // own uplink saturated
     ++stats_.segments_pushed;
-    const net::NodeId to = nb;
-    sim_.after(deliver_at - now, [this, to, id] { on_delivery(to, id); });
     ++pushed;
   }
 }
 
 // --------------------------------------------------- switch bookkeeping ---
 
-void Engine::learn_boundaries(Peer& p, int up_to, double now) {
+void Engine::learn_boundaries(PeerNode& p, int up_to, double now) {
   if (up_to <= p.known_boundary) return;
   p.known_boundary = up_to;
   if (p.is_source) return;
   if (p.active_switch >= 0 && up_to >= p.active_switch && !p.gate_armed &&
       p.playback.gate() == kNoSegment) {
-    const SegmentId gate_id = sessions_[p.active_switch].last + 1;
+    const SegmentId gate_id =
+        timeline_.session(static_cast<std::size_t>(p.active_switch)).last + 1;
     if (!p.playback.started() || p.playback.cursor() <= gate_id) {
       p.playback.set_gate(gate_id);
       p.gate_armed = true;
@@ -478,10 +313,10 @@ void Engine::learn_boundaries(Peer& p, int up_to, double now) {
   }
 }
 
-void Engine::on_switch_progress(Peer& p, SegmentId id, double now) {
+void Engine::on_switch_progress(PeerNode& p, SegmentId id, double now) {
   if (p.active_switch < 0) return;
   const int k = p.active_switch;
-  const Session& old = sessions_[k];
+  const Session& old = timeline_.session(static_cast<std::size_t>(k));
   if (id >= p.sw_lo && id <= old.last) {
     if (p.q1_missing > 0) --p.q1_missing;
   } else if (id > old.last) {
@@ -494,20 +329,20 @@ void Engine::on_switch_progress(Peer& p, SegmentId id, double now) {
   maybe_release_gate(p, now);
 }
 
-void Engine::maybe_release_gate(Peer& p, double now) {
+void Engine::maybe_release_gate(PeerNode& p, double now) {
   if (!p.gate_armed || p.playback.gate() == kNoSegment) return;
   const int k = p.active_switch;
   GS_CHECK_GE(k, 0);
   bool ready = p.q2_missing == 0;
-  if (!ready && sessions_[static_cast<std::size_t>(k) + 1].ended()) {
+  if (!ready && timeline_.session(static_cast<std::size_t>(k) + 1).ended()) {
     // Short final session: release once everything that exists arrived.
-    const Session& next = sessions_[static_cast<std::size_t>(k) + 1];
-    ready = count_missing(p, next.first, next.last) == 0;
+    const Session& next = timeline_.session(static_cast<std::size_t>(k) + 1);
+    ready = p.count_missing(next.first, next.last) == 0;
   }
   if (ready) p.playback.release_gate(now);
 }
 
-void Engine::maybe_start_playback(Peer& p, double now) {
+void Engine::maybe_start_playback(PeerNode& p, double now) {
   if (p.is_source || p.playback.started()) return;
   if (p.start_run >= config_.q_consecutive) {
     p.playback.start(p.start_id, now);
@@ -515,332 +350,47 @@ void Engine::maybe_start_playback(Peer& p, double now) {
   }
 }
 
-void Engine::advance_playback(Peer& p, double now) {
+void Engine::advance_playback(PeerNode& p, double now) {
   if (!p.playback.started()) return;
   p.playback.advance(
-      now,
-      [&p](SegmentId id) {
-        return id >= 0 && static_cast<std::size_t>(id) < p.received.size() &&
-               p.received.test(static_cast<std::size_t>(id));
-      },
+      now, [&p](SegmentId id) { return p.has_received(id); },
       [this, &p](SegmentId id, double play_time) {
-        const auto end_it = session_end_index_.find(id);
-        if (end_it != session_end_index_.end()) record_finish(p, end_it->second, play_time);
-        const auto start_it = session_end_index_.find(id - 1);
-        if (start_it != session_end_index_.end() && p.tracked &&
-            p.active_switch == start_it->second) {
-          metrics_[start_it->second].s2_start_times.push_back(
-              play_time - metrics_[start_it->second].switch_time);
+        const int end_switch = timeline_.switch_ending_at(id);
+        if (end_switch >= 0) record_finish(p, end_switch, play_time);
+        const int start_switch = timeline_.switch_ending_at(id - 1);
+        if (start_switch >= 0 && p.tracked && p.active_switch == start_switch) {
+          SwitchMetrics& m = timeline_.metrics(start_switch);
+          m.s2_start_times.push_back(play_time - m.switch_time);
         }
       });
 }
 
-void Engine::record_finish(Peer& p, int switch_index, double play_time) {
+void Engine::record_finish(PeerNode& p, int switch_index, double play_time) {
   if (p.sw_finished || p.active_switch != switch_index) return;
   p.sw_finished = true;
   if (!p.tracked) return;
-  SwitchMetrics& m = metrics_[switch_index];
+  SwitchMetrics& m = timeline_.metrics(switch_index);
   m.finish_times.push_back(play_time - m.switch_time);
   ++m.finished_s1;
   check_experiment_complete();
 }
 
-void Engine::record_prepared(Peer& p, int switch_index, double now) {
+void Engine::record_prepared(PeerNode& p, int switch_index, double now) {
   if (p.sw_prepared || p.active_switch != switch_index) return;
   p.sw_prepared = true;
   if (!p.tracked) return;
-  SwitchMetrics& m = metrics_[switch_index];
+  SwitchMetrics& m = timeline_.metrics(switch_index);
   m.prepared_times.push_back(now - m.switch_time);
   ++m.prepared_s2;
   check_experiment_complete();
 }
 
 void Engine::check_experiment_complete() {
-  if (experiment_done_ || metrics_.empty()) return;
-  const int last = static_cast<int>(metrics_.size()) - 1;
-  if (current_switch_ != last) return;
-  const SwitchMetrics& m = metrics_[last];
-  if (m.finished_s1 + m.censored_finish >= m.tracked &&
-      m.prepared_s2 + m.censored_prepare >= m.tracked) {
+  if (experiment_done_) return;
+  if (timeline_.experiment_complete()) {
     experiment_done_ = true;
     sim_.stop();
   }
-}
-
-// --------------------------------------------------------------- churn ---
-
-void Engine::churn_step(double now) {
-  std::size_t live_peers = 0;
-  for (const net::NodeId v : membership_.live_nodes()) {
-    if (!peers_[v].is_source) ++live_peers;
-  }
-  const auto n_leave = static_cast<std::size_t>(
-      std::llround(config_.churn_leave_fraction * static_cast<double>(live_peers)));
-  const auto n_join = static_cast<std::size_t>(
-      std::llround(config_.churn_join_fraction * static_cast<double>(live_peers)));
-
-  // Select distinct non-source victims before mutating the live list.
-  std::vector<net::NodeId> victims;
-  victims.reserve(n_leave);
-  std::size_t attempts = 0;
-  while (victims.size() < n_leave && attempts < n_leave * 30 + 30) {
-    ++attempts;
-    const auto& live = membership_.live_nodes();
-    if (live.empty()) break;
-    const net::NodeId v = live[static_cast<std::size_t>(
-        churn_rng_.uniform_int(0, static_cast<std::int64_t>(live.size()) - 1))];
-    if (peers_[v].is_source) continue;
-    if (std::find(victims.begin(), victims.end(), v) != victims.end()) continue;
-    victims.push_back(v);
-  }
-  for (const net::NodeId v : victims) handle_leave(v);
-  for (std::size_t i = 0; i < n_join; ++i) handle_join();
-  (void)now;
-}
-
-void Engine::handle_leave(net::NodeId v) {
-  Peer& p = peers_[v];
-  GS_CHECK(p.alive);
-  GS_CHECK(!p.is_source);
-  p.alive = false;
-  if (p.tick_task) p.tick_task->cancel();
-  membership_.leave(v);
-  ++stats_.leaves;
-  if (p.tracked && p.active_switch >= 0) {
-    SwitchMetrics& m = metrics_[p.active_switch];
-    if (!p.sw_finished) {
-      ++m.censored_finish;
-      p.sw_finished = true;
-    }
-    if (!p.sw_prepared) {
-      ++m.censored_prepare;
-      p.sw_prepared = true;
-    }
-    p.tracked = false;
-    check_experiment_complete();
-  }
-}
-
-net::NodeId Engine::handle_join() {
-  const net::NodeId v = membership_.join();
-  GS_CHECK_EQ(static_cast<std::size_t>(v), peers_.size());
-  latency_.add_node(std::min(churn_rng_.pareto(config_.join_ping_min_ms, config_.join_ping_shape),
-                             config_.join_ping_cap_ms));
-  peers_.emplace_back();
-  Peer& p = peers_.back();
-  p.id = v;
-  util::Rng node_setup = setup_rng_.fork(v);
-  p.inbound_rate = config_.inbound.sample(node_setup);
-  p.outbound_rate = config_.outbound.sample(node_setup);
-  p.in_budget = RateBudget(p.inbound_rate, config_.budget_carry);
-  p.buffer = StreamBuffer(config_.buffer_capacity);
-  p.playback = Playback(config_.playback_rate);
-  p.rng = util::Rng(config_.seed).fork(util::hash_name("peer")).fork(v);
-  ++stats_.joins;
-
-  // "A new joining node ... starts its media playback by following its
-  // neighbours' current steps" (§5.4): begin at the furthest neighbour
-  // playhead instead of fetching the back catalogue.
-  SegmentId start = kNoSegment;
-  for (const net::NodeId nb : graph_.neighbors(v)) {
-    const Peer& n = peers_[nb];
-    if (n.alive && n.playback.started()) start = std::max(start, n.playback.cursor());
-  }
-  if (start == kNoSegment) {
-    start = std::max<SegmentId>(
-        0, registry_.next_id() - static_cast<SegmentId>(config_.q_consecutive));
-  }
-  p.start_id = start;
-
-  // Mid-switch joiners participate mechanically but are not tracked.
-  if (current_switch_ >= 0 && sessions_[current_switch_].ended() &&
-      p.start_id <= sessions_[current_switch_].last) {
-    init_switch_counters(p, current_switch_);
-  }
-  start_peer_tick(p);
-  return v;
-}
-
-// ------------------------------------------------------------- sampling ---
-
-void Engine::sample_tracks(double now) {
-  if (current_switch_ < 0) return;
-  const int k = current_switch_;
-  SwitchMetrics& m = metrics_[k];
-  if (m.finished_s1 + m.censored_finish >= m.tracked &&
-      m.prepared_s2 + m.censored_prepare >= m.tracked) {
-    return;  // switch complete; the tracks are closed
-  }
-  TrackPoint point;
-  point.time = now - m.switch_time;
-  double undelivered = 0.0;
-  double delivered = 0.0;
-  std::size_t counted = 0;
-  const double prefix = static_cast<double>(required_prefix(k));
-  for (const Peer& p : peers_) {
-    if (!p.tracked || p.active_switch != k || !p.alive) continue;
-    ++counted;
-    if (p.q0_at_switch > 0) {
-      undelivered +=
-          static_cast<double>(p.q1_missing) / static_cast<double>(p.q0_at_switch);
-    }
-    delivered += (prefix - static_cast<double>(p.q2_missing)) / prefix;
-  }
-  if (counted > 0) {
-    point.undelivered_ratio_s1 = undelivered / static_cast<double>(counted);
-    point.delivered_ratio_s2 = delivered / static_cast<double>(counted);
-  }
-  point.live_tracked = counted;
-  m.track.push_back(point);
-}
-
-// ------------------------------------------------------------------ run ---
-
-void Engine::warm_start_state() {
-  const double p_rate = config_.playback_rate;
-  const auto history_count =
-      static_cast<std::size_t>(std::llround(config_.history_seconds * p_rate));
-  if (history_count == 0) return;
-  const double t0 = sim_.now();
-
-  // Raw state fill: marks a segment received and buffered without touching
-  // playback, announcements or metrics (those do not exist yet).
-  auto preload = [](Peer& peer, SegmentId id) {
-    if (static_cast<std::size_t>(id) >= peer.received.size()) {
-      peer.received.resize(std::max<std::size_t>(static_cast<std::size_t>(id) + 1,
-                                                 peer.received.size() * 2 + 64));
-    }
-    if (peer.received.test(static_cast<std::size_t>(id))) return;
-    peer.received.set(static_cast<std::size_t>(id));
-    peer.buffer.insert(id);
-  };
-
-  // Pre-generate the old source's history, timestamped in the past.
-  Peer& src = peers_[sessions_[0].source];
-  for (std::size_t i = 0; i < history_count; ++i) {
-    const double created = t0 - static_cast<double>(history_count - i) / p_rate;
-    const SegmentId id = registry_.append(0, created, kNoSegment);
-    if (sessions_[0].first == kNoSegment) sessions_[0].first = id;
-    ++stats_.segments_generated;
-    preload(src, id);
-  }
-  const SegmentId head = registry_.next_id() - 1;
-
-  const std::vector<std::size_t> hops = graph_.bfs_hops(sessions_[0].source);
-  const double population = static_cast<double>(std::max<std::size_t>(peers_.size(), 2));
-  const double backlog_target =
-      config_.stable_backlog_scale * std::pow(population, config_.stable_backlog_exponent);
-  for (Peer& p : peers_) {
-    if (p.is_source) continue;
-    // Roughly uniform backlog (see config docs) with mild spread and an
-    // optional per-hop component.  The warmup is kept short so spare
-    // inbound rate does not drain the seeded state before the switch (in
-    // the paper's stable phase the backlog is availability-pinned: "most
-    // nodes' data delivery rate cannot catch the media play rate").
-    const double hop_count = hops[p.id] == std::numeric_limits<std::size_t>::max()
-                                 ? 6.0
-                                 : static_cast<double>(hops[p.id]);
-    const double backlog = backlog_target * p.rng.uniform(0.85, 1.15) +
-                           config_.hop_lag_seconds * hop_count * p_rate +
-                           config_.base_lag_segments;
-    const double lag_segments = backlog / std::max(0.05, 1.0 - config_.sparse_fill);
-    const SegmentId cursor =
-        std::max<SegmentId>(0, head - static_cast<SegmentId>(std::llround(lag_segments)));
-    // Solid prefix up to the playback position; the lag window beyond it is
-    // mostly missing (this IS the node's Q0 backlog) with sparse random
-    // coverage for supplier diversity.
-    for (SegmentId id = 0; id <= cursor; ++id) preload(p, id);
-    for (SegmentId id = cursor + 1; id <= head; ++id) {
-      if (p.rng.bernoulli(config_.sparse_fill)) preload(p, id);
-    }
-    p.start_run = static_cast<std::size_t>(cursor) + 1;
-    p.playback.start(cursor, t0);
-  }
-}
-
-std::vector<SwitchMetrics> Engine::run() {
-  GS_CHECK(!sessions_.empty()) << "call set_sources() first";
-  GS_CHECK(peers_.empty()) << "run() may only be called once";
-  init_peers();
-  if (config_.warm_start) warm_start_state();
-  start_session(0);
-  for (std::size_t i = 0; i < switch_times_.size(); ++i) schedule_switch(static_cast<int>(i));
-
-  if (config_.churn_leave_fraction > 0.0 || config_.churn_join_fraction > 0.0) {
-    churn_task_ = std::make_unique<sim::PeriodicTask>(
-        sim_, sim_.now() + config_.tau, config_.tau, [this](double now) { churn_step(now); });
-  }
-  if (!switch_times_.empty()) {
-    sampler_task_ = std::make_unique<sim::PeriodicTask>(
-        sim_, switch_times_.front(), config_.tau, [this](double now) { sample_tracks(now); });
-  }
-  if (config_.debug_series) {
-    debug_task_ = std::make_unique<sim::PeriodicTask>(
-        sim_, sim_.now() + config_.tau, config_.tau, [this](double now) {
-          DebugPoint point;
-          point.time = now;
-          point.head = registry_.next_id() - 1;
-          double cursor_gap = 0.0;
-          double frontier_gap = 0.0;
-          std::size_t counted = 0;
-          for (const Peer& p : peers_) {
-            if (p.is_source || !p.alive) continue;
-            ++counted;
-            const SegmentId cursor = p.playback.started() ? p.playback.cursor() : p.start_id;
-            cursor_gap += static_cast<double>(point.head - cursor);
-            const SegmentId frontier = next_missing(p.received, cursor);
-            const double gap = static_cast<double>(point.head - frontier);
-            frontier_gap += gap;
-            point.max_frontier_gap = std::max(point.max_frontier_gap, gap);
-          }
-          if (counted > 0) {
-            point.mean_cursor_gap = cursor_gap / static_cast<double>(counted);
-            point.mean_frontier_gap = frontier_gap / static_cast<double>(counted);
-          }
-          point.delivered_this_period = stats_.segments_delivered - last_delivered_;
-          point.requests_this_period = stats_.requests_issued - last_requests_;
-          point.candidates_this_period = candidates_seen_ - last_candidates_;
-          point.scheduled_this_period = scheduled_seen_ - last_scheduled_;
-          point.old_req_this_period = stats_.old_stream_requests - last_old_req_;
-          point.new_req_this_period = stats_.new_stream_requests - last_new_req_;
-          last_delivered_ = stats_.segments_delivered;
-          last_requests_ = stats_.requests_issued;
-          last_candidates_ = candidates_seen_;
-          last_scheduled_ = scheduled_seen_;
-          last_old_req_ = stats_.old_stream_requests;
-          last_new_req_ = stats_.new_stream_requests;
-          debug_series_.push_back(point);
-        });
-  }
-
-  const double stop_at =
-      (switch_times_.empty() ? 0.0 : switch_times_.back()) + config_.horizon;
-  sim_.run_until(stop_at);
-
-  // Censor peers that never completed within the horizon.
-  for (Peer& p : peers_) {
-    if (!p.tracked || p.active_switch < 0) continue;
-    SwitchMetrics& m = metrics_[p.active_switch];
-    if (!p.sw_finished) ++m.censored_finish;
-    if (!p.sw_prepared) ++m.censored_prepare;
-  }
-
-  // Per-switch overhead ratios from the snapshot deltas.
-  overhead_snapshots_.push_back(take_overhead_snapshot());
-  for (std::size_t k = 0; k + 1 < overhead_snapshots_.size(); ++k) {
-    const OverheadSnapshot& a = overhead_snapshots_[k];
-    const OverheadSnapshot& b = overhead_snapshots_[k + 1];
-    SwitchMetrics& m = metrics_[k];
-    const auto data = static_cast<double>(b.data_bits - a.data_bits);
-    if (data > 0) {
-      m.overhead_ratio = static_cast<double>(b.buffer_map_bits - a.buffer_map_bits) / data;
-      m.control_ratio = static_cast<double>((b.buffer_map_bits - a.buffer_map_bits) +
-                                            (b.request_bits - a.request_bits)) /
-                        data;
-    }
-    m.data_segments = b.data_segments - a.data_segments;
-  }
-  return metrics_;
 }
 
 }  // namespace gs::stream

@@ -1,18 +1,23 @@
 // The streaming engine: gossip pull streaming with serial source switching.
 //
-// Owns the simulator, the overlay (graph + membership + latency), all peer
-// state, the session timeline and the metrics.  The scheduling *policy* is
-// injected as a SchedulerStrategy (fast switch / normal switch / ...); the
-// engine supplies mechanism only: periodic ticks, buffer-map snapshots,
-// budget enforcement, supplier backlog, deliveries, playback and churn.
+// A thin orchestrator after the subsystem decomposition: the engine owns
+// the simulator and the overlay (graph + membership + latency) and wires
+// three subsystems to them —
+//
+//   PeerNode       per-peer buffer, playback, budget, strategy, gossip state
+//   TransferPlane  supplier uplink queues and delivery scheduling
+//                  (capacity models behind the CapacityModel interface)
+//   SwitchTimeline epoch/session bookkeeping and per-switch metrics
+//
+// The scheduling *policy* is injected as a SchedulerStrategy (fast switch /
+// normal switch / ...); the engine supplies mechanism only: periodic ticks,
+// buffer-map snapshots, budget enforcement, playback and churn.
 //
 // Time convention (paper §5.1): the first switch happens at t = 0; the old
 // source streams during the warm-up t in [-warmup, 0).
 #pragma once
 
 #include <memory>
-#include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "gossip/membership.hpp"
@@ -23,30 +28,14 @@
 #include "sim/simulator.hpp"
 #include "stream/bandwidth.hpp"
 #include "stream/metrics.hpp"
-#include "stream/playback.hpp"
+#include "stream/peer_node.hpp"
 #include "stream/scheduler.hpp"
 #include "stream/segment.hpp"
-#include "stream/stream_buffer.hpp"
-#include "util/bitset.hpp"
+#include "stream/switch_timeline.hpp"
+#include "stream/transfer_plane.hpp"
 #include "util/rng.hpp"
 
 namespace gs::stream {
-
-/// How a supplier's outbound rate constrains concurrent transfers.
-enum class SupplierCapacityModel : std::uint8_t {
-  /// One FIFO per supplier shared by all requesters (default).  Uplink
-  /// contention is what makes the *order* of requests matter: under the
-  /// normal algorithm every uplink serves the old stream first, so the new
-  /// stream's dissemination wave crawls — the effect the fast algorithm
-  /// exploits (and the reason its Fig. 2 order interleaves S1 and S2).
-  kSharedFifo,
-  /// Relaxed model: each (requester, supplier) link independently carries
-  /// up to the supplier's outbound rate; queueing (tau(j)) is requester-
-  /// local, matching the paper's Algorithm-1 bookkeeping literally.  Kept
-  /// for the ablation bench: with per-link capacity, supply is abundant,
-  /// steady-state lag collapses, and the switch algorithms nearly tie.
-  kPerLink,
-};
 
 /// Engine knobs; defaults reproduce the paper's §5.1 setup.
 struct EngineConfig {
@@ -135,60 +124,6 @@ struct EngineConfig {
   std::uint64_t seed = 1;
 };
 
-/// Per-peer state.  Engine-internal but exposed for tests/inspection.
-struct Peer {
-  net::NodeId id = 0;
-  bool is_source = false;
-  bool alive = true;
-  double inbound_rate = 0.0;
-  double outbound_rate = 0.0;
-
-  StreamBuffer buffer{600};
-  Playback playback{10.0};
-  RateBudget in_budget;
-  /// Supplier-side FIFO backlog (kSharedFifo model).
-  double out_busy_until = -1e300;
-  /// Requester-side per-link backlog (kPerLink model), keyed by supplier.
-  std::unordered_map<net::NodeId, double> link_busy_until;
-
-  /// Ever-received segment ids (play/accounting source of truth; survives
-  /// buffer eviction).
-  util::DynamicBitset received;
-  /// id -> retry-eligible time for in-flight requests.
-  std::unordered_map<SegmentId, double> pending;
-
-  /// First id this peer needs (joiners skip the back catalogue).
-  SegmentId start_id = 0;
-  /// Contiguous run of received ids starting at start_id (startup rule).
-  std::size_t start_run = 0;
-
-  /// Highest switch index whose boundary this peer knows (-1 = none).
-  int known_boundary = -1;
-  /// Switch currently being worked (-1 = none).  Valid once the engine's
-  /// switch event initialised the counters below.
-  int active_switch = -1;
-  /// Q1: undelivered old-stream segments for the active switch.
-  std::size_t q1_missing = 0;
-  /// Q2: undelivered segments of the new stream's Qs-prefix.
-  std::size_t q2_missing = 0;
-  /// Snapshot of q1_missing at the switch instant (Q0).
-  std::size_t q0_at_switch = 0;
-  /// Lower bound of this peer's old-stream needs for the active switch.
-  SegmentId sw_lo = 0;
-  bool sw_finished = false;  ///< finished playback of the old stream
-  bool sw_prepared = false;  ///< gathered the new stream's prefix
-  bool tracked = false;      ///< counted in the active switch's metrics
-  bool gate_armed = false;   ///< playback gate set for the active switch
-
-  util::Rng rng;
-  std::unique_ptr<sim::PeriodicTask> tick_task;
-
-  // Diagnostics.
-  std::uint64_t requests_issued = 0;
-  std::uint64_t requests_rejected = 0;
-  std::uint64_t duplicates_received = 0;
-};
-
 /// Aggregate engine statistics (diagnostics; not paper metrics).
 struct EngineStats {
   std::uint64_t segments_generated = 0;
@@ -242,51 +177,56 @@ class Engine {
   [[nodiscard]] const std::vector<DebugPoint>& debug_series() const noexcept {
     return debug_series_;
   }
-  [[nodiscard]] const Peer& peer(net::NodeId v) const;
+  [[nodiscard]] const PeerNode& peer(net::NodeId v) const;
   [[nodiscard]] std::size_t peer_count() const noexcept { return peers_.size(); }
   [[nodiscard]] const net::Graph& graph() const noexcept { return graph_; }
   [[nodiscard]] const SegmentRegistry& registry() const noexcept { return registry_; }
-  [[nodiscard]] const std::vector<Session>& sessions() const noexcept { return sessions_; }
+  [[nodiscard]] const std::vector<Session>& sessions() const noexcept {
+    return timeline_.sessions();
+  }
+  [[nodiscard]] const SwitchTimeline& timeline() const noexcept { return timeline_; }
+  [[nodiscard]] const TransferPlane& transfers() const noexcept { return transfers_; }
 
  private:
-  // --- setup ---
+  // --- setup / lifecycle (engine_lifecycle.cpp) ---
   void init_peers();
+  void init_peer_state(PeerNode& p, net::NodeId v);
   void warm_start_state();
-  void start_session(SessionIndex k);
-  void schedule_switch(int switch_index);
-  void start_peer_tick(Peer& p);
+  void start_peer_tick(PeerNode& p);
+  void start_debug_series();
   net::NodeId handle_join();
   void handle_leave(net::NodeId v);
+  void churn_step(double now);
+
+  // --- orchestration (engine.cpp) ---
+  void start_session(SessionIndex k);
+  void schedule_switch(int switch_index);
+  void generate_segment(SessionIndex k, double now);
 
   // --- per-tick pipeline ---
-  void tick(Peer& p, double now);
-  void snapshot_and_learn(Peer& p);
-  [[nodiscard]] std::vector<CandidateSegment> build_candidates(Peer& p, double now);
-  bool issue_one(Peer& p, SegmentId id, net::NodeId supplier, double now);
+  void tick(PeerNode& p, double now);
+  void snapshot_and_learn(PeerNode& p);
+  [[nodiscard]] std::vector<CandidateSegment> build_candidates(PeerNode& p, double now);
+  bool issue_one(PeerNode& p, SegmentId id, net::NodeId supplier, double now);
 
   // --- data path ---
-  void generate_segment(SessionIndex k, double now);
   void on_delivery(net::NodeId to, SegmentId id);
-  void deliver_segment(Peer& p, SegmentId id, double now, bool count_wire);
-  void push_to_neighbors(Peer& p, SegmentId id, double now);
+  void deliver_segment(PeerNode& p, SegmentId id, double now, bool count_wire);
+  void push_to_neighbors(PeerNode& p, SegmentId id, double now);
 
   // --- switch bookkeeping ---
-  void learn_boundaries(Peer& p, int up_to, double now);
-  void init_switch_counters(Peer& p, int switch_index);
-  void on_switch_progress(Peer& p, SegmentId id, double now);
-  void maybe_release_gate(Peer& p, double now);
-  void maybe_start_playback(Peer& p, double now);
-  void advance_playback(Peer& p, double now);
-  void record_finish(Peer& p, int switch_index, double play_time);
-  void record_prepared(Peer& p, int switch_index, double now);
+  void learn_boundaries(PeerNode& p, int up_to, double now);
+  void on_switch_progress(PeerNode& p, SegmentId id, double now);
+  void maybe_release_gate(PeerNode& p, double now);
+  void maybe_start_playback(PeerNode& p, double now);
+  void advance_playback(PeerNode& p, double now);
+  void record_finish(PeerNode& p, int switch_index, double play_time);
+  void record_prepared(PeerNode& p, int switch_index, double now);
   void check_experiment_complete();
 
-  // --- periodic processes ---
-  void churn_step(double now);
-  void sample_tracks(double now);
-
-  [[nodiscard]] std::size_t count_missing(const Peer& p, SegmentId lo, SegmentId hi) const;
-  [[nodiscard]] std::size_t required_prefix(int switch_index) const;
+  [[nodiscard]] std::size_t required_prefix(int switch_index) const {
+    return timeline_.required_prefix(switch_index, config_.q_startup);
+  }
 
   net::Graph graph_;
   net::LatencyModel latency_;
@@ -297,26 +237,10 @@ class Engine {
   gossip::OverheadAccountant overhead_;
   gossip::MembershipProtocol membership_;
   SegmentRegistry registry_;
+  TransferPlane transfers_;
+  SwitchTimeline timeline_;
 
-  std::vector<Peer> peers_;
-  std::vector<Session> sessions_;
-  std::vector<double> switch_times_;
-  /// session end id -> switch index (filled as switches fire).
-  std::unordered_map<SegmentId, int> session_end_index_;
-
-  std::vector<SwitchMetrics> metrics_;
-  int current_switch_ = -1;  ///< most recent switch that fired
-
-  /// Overhead counters captured at each switch instant (plus run end), so
-  /// per-switch ratios can be computed as deltas.
-  struct OverheadSnapshot {
-    std::uint64_t buffer_map_bits = 0;
-    std::uint64_t request_bits = 0;
-    std::uint64_t data_bits = 0;
-    std::uint64_t data_segments = 0;
-  };
-  std::vector<OverheadSnapshot> overhead_snapshots_;
-  [[nodiscard]] OverheadSnapshot take_overhead_snapshot() const;
+  std::vector<PeerNode> peers_;
 
   std::vector<DebugPoint> debug_series_;
   std::unique_ptr<sim::PeriodicTask> debug_task_;

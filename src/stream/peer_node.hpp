@@ -1,0 +1,107 @@
+// Per-peer state and node-local bookkeeping.
+//
+// A PeerNode owns everything that belongs to exactly one peer: its stream
+// buffer and playback engine, its bandwidth budget, its scheduler-strategy
+// handle, its gossip availability state (received set, pending requests) and
+// its per-switch Q1/Q2 counters.  Cross-peer mechanism — uplink queues,
+// deliveries, the switch timeline — lives in TransferPlane / SwitchTimeline;
+// the engine wires them together.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "net/graph.hpp"
+#include "sim/periodic.hpp"
+#include "stream/bandwidth.hpp"
+#include "stream/playback.hpp"
+#include "stream/scheduler.hpp"
+#include "stream/stream_buffer.hpp"
+#include "util/bitset.hpp"
+#include "util/rng.hpp"
+
+namespace gs::stream {
+
+struct PeerNode {
+  net::NodeId id = 0;
+  bool is_source = false;
+  bool alive = true;
+  double inbound_rate = 0.0;
+  double outbound_rate = 0.0;
+
+  StreamBuffer buffer{600};
+  Playback playback{10.0};
+  RateBudget in_budget;
+  /// Scheduling policy this peer runs each period (shared across peers
+  /// today — strategies are stateless per call — but held per node so
+  /// heterogeneous policies stay a config change, not a refactor).
+  std::shared_ptr<SchedulerStrategy> strategy;
+
+  /// Ever-received segment ids (play/accounting source of truth; survives
+  /// buffer eviction).
+  util::DynamicBitset received;
+  /// id -> retry-eligible time for in-flight requests.
+  std::unordered_map<SegmentId, double> pending;
+
+  /// First id this peer needs (joiners skip the back catalogue).
+  SegmentId start_id = 0;
+  /// Contiguous run of received ids starting at start_id (startup rule).
+  std::size_t start_run = 0;
+
+  /// Highest switch index whose boundary this peer knows (-1 = none).
+  int known_boundary = -1;
+  /// Switch currently being worked (-1 = none).  Valid once the timeline's
+  /// switch event initialised the counters below.
+  int active_switch = -1;
+  /// Q1: undelivered old-stream segments for the active switch.
+  std::size_t q1_missing = 0;
+  /// Q2: undelivered segments of the new stream's Qs-prefix.
+  std::size_t q2_missing = 0;
+  /// Snapshot of q1_missing at the switch instant (Q0).
+  std::size_t q0_at_switch = 0;
+  /// Lower bound of this peer's old-stream needs for the active switch.
+  SegmentId sw_lo = 0;
+  bool sw_finished = false;  ///< finished playback of the old stream
+  bool sw_prepared = false;  ///< gathered the new stream's prefix
+  bool tracked = false;      ///< counted in the active switch's metrics
+  bool gate_armed = false;   ///< playback gate set for the active switch
+
+  util::Rng rng;
+  std::unique_ptr<sim::PeriodicTask> tick_task;
+
+  // Diagnostics.
+  std::uint64_t requests_issued = 0;
+  std::uint64_t requests_rejected = 0;
+  std::uint64_t duplicates_received = 0;
+
+  /// Marks `id` received (growing the bitset as needed) and inserts it into
+  /// the stream buffer.  Returns false when it was already received.
+  bool mark_received(SegmentId id);
+
+  /// True when `id` is a valid, already-received segment id.
+  [[nodiscard]] bool has_received(SegmentId id) const noexcept;
+
+  /// Undelivered segments in [lo, hi] (0 when the range is empty).
+  [[nodiscard]] std::size_t count_missing(SegmentId lo, SegmentId hi) const;
+
+  /// Raw warm-start fill: availability and buffer only — no playback,
+  /// announcement or metrics effects (those do not exist yet).
+  void preload(SegmentId id) { (void)mark_received(id); }
+
+  /// Drops expired in-flight entries so the segments become requestable
+  /// again.
+  void prune_pending(double now);
+
+  /// Extends the contiguous received run from start_id (startup rule).
+  void extend_start_run();
+};
+
+/// Historical name, kept for call sites that predate the decomposition.
+using Peer = PeerNode;
+
+/// First id >= `from` that is clear in `bits` (ids beyond the bitset's size
+/// are implicitly clear).
+[[nodiscard]] SegmentId next_missing(const util::DynamicBitset& bits, SegmentId from);
+
+}  // namespace gs::stream

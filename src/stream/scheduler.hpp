@@ -3,9 +3,11 @@
 //
 // Every scheduling period the engine hands the strategy the node-local view
 // (candidate segments with their suppliers, rate and playback state) and the
-// strategy returns an ordered request list.  The engine enforces global
-// constraints (inbound budget, supplier backlog) when issuing; strategies
-// see only information a real peer would have.
+// strategy returns an ordered request list.  Global constraints are enforced
+// when issuing — the inbound budget by the engine, supplier backlog by the
+// TransferPlane's capacity model; strategies see only information a real
+// peer would have.  Each PeerNode holds a handle to its strategy, so
+// heterogeneous policies per peer are a wiring change, not a refactor.
 #pragma once
 
 #include <cstdint>

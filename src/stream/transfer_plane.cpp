@@ -1,0 +1,149 @@
+#include "stream/transfer_plane.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/check.hpp"
+
+namespace gs::stream {
+
+std::string_view to_string(SupplierCapacityModel kind) noexcept {
+  switch (kind) {
+    case SupplierCapacityModel::kSharedFifo:
+      return "shared-fifo";
+    case SupplierCapacityModel::kPerLink:
+      return "per-link";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// One FIFO per supplier shared by all requesters: a new transfer starts
+/// when the supplier's uplink drains, regardless of who asked.
+class SharedFifoCapacity final : public CapacityModel {
+ public:
+  explicit SharedFifoCapacity(std::vector<double>& uplink_busy_until)
+      : uplink_busy_until_(uplink_busy_until) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return to_string(SupplierCapacityModel::kSharedFifo);
+  }
+
+  [[nodiscard]] double backlog_end(net::NodeId /*requester*/,
+                                   net::NodeId supplier) const override {
+    return uplink_busy_until_[supplier];
+  }
+
+  void commit(net::NodeId /*requester*/, net::NodeId supplier, double until) override {
+    uplink_busy_until_[supplier] = until;
+  }
+
+  void ensure_nodes(std::size_t /*count*/) override {
+    // State is the plane's uplink vector, which the plane grows itself.
+  }
+
+ private:
+  std::vector<double>& uplink_busy_until_;
+};
+
+/// Each (requester, supplier) link carries up to the supplier's outbound
+/// rate independently; queueing is requester-local (Algorithm 1 literally).
+class PerLinkCapacity final : public CapacityModel {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return to_string(SupplierCapacityModel::kPerLink);
+  }
+
+  [[nodiscard]] double backlog_end(net::NodeId requester,
+                                   net::NodeId supplier) const override {
+    const auto& links = link_busy_until_[requester];
+    const auto it = links.find(supplier);
+    return it == links.end() ? kIdle : it->second;
+  }
+
+  void commit(net::NodeId requester, net::NodeId supplier, double until) override {
+    link_busy_until_[requester][supplier] = until;
+  }
+
+  void ensure_nodes(std::size_t count) override {
+    if (link_busy_until_.size() < count) link_busy_until_.resize(count);
+  }
+
+ private:
+  /// link_busy_until_[requester][supplier] = when that link frees up.
+  std::vector<std::unordered_map<net::NodeId, double>> link_busy_until_;
+};
+
+std::unique_ptr<CapacityModel> make_capacity(SupplierCapacityModel kind,
+                                             std::vector<double>& uplink_busy_until) {
+  switch (kind) {
+    case SupplierCapacityModel::kSharedFifo:
+      return std::make_unique<SharedFifoCapacity>(uplink_busy_until);
+    case SupplierCapacityModel::kPerLink:
+      return std::make_unique<PerLinkCapacity>();
+  }
+  GS_CHECK(false) << "unreachable capacity model";
+  return nullptr;
+}
+
+}  // namespace
+
+TransferPlane::TransferPlane(sim::Simulator& sim, net::LatencyModel& latency,
+                             SupplierCapacityModel kind, double accept_horizon,
+                             DeliveryFn on_delivery)
+    : sim_(sim),
+      latency_(latency),
+      kind_(kind),
+      accept_horizon_(accept_horizon),
+      on_delivery_(std::move(on_delivery)),
+      capacity_(make_capacity(kind, uplink_busy_until_)) {
+  GS_CHECK(on_delivery_ != nullptr);
+}
+
+void TransferPlane::ensure_nodes(std::size_t count) {
+  if (uplink_busy_until_.size() < count) {
+    uplink_busy_until_.resize(count, CapacityModel::kIdle);
+  }
+  capacity_->ensure_nodes(count);
+}
+
+double TransferPlane::queue_delay(net::NodeId requester, net::NodeId supplier,
+                                  double now) const {
+  return std::max(0.0, capacity_->backlog_end(requester, supplier) - now);
+}
+
+bool TransferPlane::request(PeerNode& requester, const PeerNode& supplier, SegmentId id,
+                            double now) {
+  GS_CHECK_LT(supplier.id, uplink_busy_until_.size());
+  const double start = std::max(now, capacity_->backlog_end(requester.id, supplier.id));
+  if (start - now > accept_horizon_) {
+    // Link/supplier backlog too deep; the node retries elsewhere next period.
+    return false;
+  }
+  const double tx = 1.0 / supplier.outbound_rate;
+  capacity_->commit(requester.id, supplier.id, start + tx);
+  const double deliver_at =
+      start + tx + latency_.jittered_delay_s(requester.id, supplier.id, requester.rng);
+  const net::NodeId to = requester.id;
+  sim_.after(deliver_at - now, [this, to, id] { on_delivery_(to, id); });
+  return true;
+}
+
+bool TransferPlane::push(PeerNode& from, net::NodeId to, SegmentId id, double now) {
+  GS_CHECK_LT(from.id, uplink_busy_until_.size());
+  const double start = std::max(now, uplink_busy_until_[from.id]);
+  if (start - now > accept_horizon_) return false;  // own uplink saturated
+  const double tx = 1.0 / from.outbound_rate;
+  uplink_busy_until_[from.id] = start + tx;
+  const double deliver_at = start + tx + latency_.jittered_delay_s(to, from.id, from.rng);
+  sim_.after(deliver_at - now, [this, to, id] { on_delivery_(to, id); });
+  return true;
+}
+
+double TransferPlane::uplink_busy_until(net::NodeId v) const {
+  GS_CHECK_LT(v, uplink_busy_until_.size());
+  return uplink_busy_until_[v];
+}
+
+}  // namespace gs::stream

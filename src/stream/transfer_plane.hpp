@@ -1,0 +1,120 @@
+// The transfer plane: supplier uplink queues and delivery scheduling.
+//
+// Owns the contention state of every data transfer — who is busy sending
+// until when — behind a pluggable CapacityModel, and turns accepted requests
+// into simulator delivery events.  Peers and the engine never touch busy
+// timestamps directly: they ask for a queue-delay estimate (the scheduler's
+// tau(j) seed) and submit request/push transfers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "net/graph.hpp"
+#include "net/latency.hpp"
+#include "sim/simulator.hpp"
+#include "stream/peer_node.hpp"
+
+namespace gs::stream {
+
+/// How a supplier's outbound rate constrains concurrent transfers.
+enum class SupplierCapacityModel : std::uint8_t {
+  /// One FIFO per supplier shared by all requesters (default).  Uplink
+  /// contention is what makes the *order* of requests matter: under the
+  /// normal algorithm every uplink serves the old stream first, so the new
+  /// stream's dissemination wave crawls — the effect the fast algorithm
+  /// exploits (and the reason its Fig. 2 order interleaves S1 and S2).
+  kSharedFifo,
+  /// Relaxed model: each (requester, supplier) link independently carries
+  /// up to the supplier's outbound rate; queueing (tau(j)) is requester-
+  /// local, matching the paper's Algorithm-1 bookkeeping literally.  Kept
+  /// for the ablation bench: with per-link capacity, supply is abundant,
+  /// steady-state lag collapses, and the switch algorithms nearly tie.
+  kPerLink,
+};
+
+/// Canonical name of a capacity model; the single string table shared by
+/// CapacityModel::name(), CLI parsing and report labels.
+[[nodiscard]] std::string_view to_string(SupplierCapacityModel kind) noexcept;
+
+/// The contention policy of the transfer plane.  A model answers one
+/// question — when would a transfer on (requester, supplier) start? — and
+/// records commitments.  Times are absolute; "idle" is far in the past so
+/// `max(now, backlog_end())` yields `now`.
+class CapacityModel {
+ public:
+  /// Sentinel for "never been busy" (matches max(now, ·) == now).
+  static constexpr double kIdle = -1e300;
+
+  virtual ~CapacityModel() = default;
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  /// Absolute time the constrained resource frees up for a new transfer on
+  /// (requester, supplier); kIdle when unqueued.
+  [[nodiscard]] virtual double backlog_end(net::NodeId requester,
+                                           net::NodeId supplier) const = 0;
+
+  /// Records a transfer occupying the constrained resource until `until`.
+  virtual void commit(net::NodeId requester, net::NodeId supplier, double until) = 0;
+
+  /// Grows per-node state to cover node ids < `count` (overlay joins).
+  virtual void ensure_nodes(std::size_t count) = 0;
+};
+
+class TransferPlane {
+ public:
+  using DeliveryFn = std::function<void(net::NodeId to, SegmentId id)>;
+
+  /// `latency` and `sim` must outlive the plane.  `on_delivery` fires when
+  /// a transfer's segment reaches the requester.
+  TransferPlane(sim::Simulator& sim, net::LatencyModel& latency, SupplierCapacityModel kind,
+                double accept_horizon, DeliveryFn on_delivery);
+
+  // Single-home: the capacity model holds a reference into uplink state.
+  TransferPlane(const TransferPlane&) = delete;
+  TransferPlane& operator=(const TransferPlane&) = delete;
+
+  /// Grows per-node state to cover node ids < `count`.
+  void ensure_nodes(std::size_t count);
+
+  [[nodiscard]] SupplierCapacityModel kind() const noexcept { return kind_; }
+  [[nodiscard]] const CapacityModel& capacity() const noexcept { return *capacity_; }
+
+  /// Estimated queueing delay (seconds from `now`) a request from
+  /// `requester` to `supplier` would see; the SupplierView tau(j) seed.
+  [[nodiscard]] double queue_delay(net::NodeId requester, net::NodeId supplier,
+                                   double now) const;
+
+  /// Submits a pull transfer of `id` from `supplier` to `requester`.
+  /// Returns false (and commits nothing) when the backlog exceeds the
+  /// accept horizon; otherwise books the capacity and schedules delivery
+  /// after transmission plus jittered link latency.
+  bool request(PeerNode& requester, const PeerNode& supplier, SegmentId id, double now);
+
+  /// Submits an unsolicited push of `id` from `from` to `to` on the
+  /// pusher's own uplink FIFO (pushes always contend on the real uplink,
+  /// whichever model governs pulls).  False when the uplink is saturated.
+  bool push(PeerNode& from, net::NodeId to, SegmentId id, double now);
+
+  /// Absolute time `v`'s uplink FIFO frees up (inspection/tests).
+  [[nodiscard]] double uplink_busy_until(net::NodeId v) const;
+
+ private:
+  sim::Simulator& sim_;
+  net::LatencyModel& latency_;
+  SupplierCapacityModel kind_;
+  double accept_horizon_;
+  DeliveryFn on_delivery_;
+
+  /// Per-supplier uplink FIFO state.  The shared-FIFO model queues pull
+  /// transfers here; the push path uses it under either model.
+  std::vector<double> uplink_busy_until_;
+
+  std::unique_ptr<CapacityModel> capacity_;
+};
+
+}  // namespace gs::stream

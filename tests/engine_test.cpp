@@ -234,6 +234,21 @@ TEST(Engine, FinishTimesAfterSwitchAreNonNegative) {
   for (const double t : metrics.front().prepared_times) EXPECT_GT(t, 0.0);
 }
 
+TEST(Engine, SubsystemWiring) {
+  // The decomposed engine exposes its subsystems: the transfer plane
+  // carries the configured capacity model and the timeline closes the run.
+  EngineConfig config = small_config(35);
+  config.supplier_capacity = SupplierCapacityModel::kPerLink;
+  auto engine = make_engine(60, 35, config);
+  EXPECT_EQ(engine->transfers().kind(), SupplierCapacityModel::kPerLink);
+  EXPECT_EQ(engine->transfers().capacity().name(), "per-link");
+  EXPECT_EQ(engine->timeline().current_switch(), -1) << "no switch before run()";
+  (void)engine->run();
+  EXPECT_EQ(engine->timeline().current_switch(), 0);
+  EXPECT_TRUE(engine->timeline().experiment_complete());
+  EXPECT_EQ(engine->timeline().sessions().size(), engine->sessions().size());
+}
+
 TEST(Engine, StatsConsistency) {
   auto engine = make_engine(60, 33, small_config(33));
   (void)engine->run();

@@ -57,6 +57,11 @@ TEST(Config, EnumStringRoundTrip) {
   EXPECT_EQ(topology_from_string(std::string(to_string(TopologyKind::kSyntheticTrace))),
             TopologyKind::kSyntheticTrace);
   EXPECT_EQ(topology_from_string("ring"), TopologyKind::kRing);
+  EXPECT_EQ(capacity_from_string("shared-fifo"), stream::SupplierCapacityModel::kSharedFifo);
+  EXPECT_EQ(capacity_from_string("per-link"), stream::SupplierCapacityModel::kPerLink);
+  EXPECT_EQ(capacity_from_string(std::string(to_string(stream::SupplierCapacityModel::kPerLink))),
+            stream::SupplierCapacityModel::kPerLink);
+  EXPECT_THROW((void)capacity_from_string("bogus"), std::invalid_argument);
 }
 
 TEST(Scenario, BuildsRepairedOverlay) {

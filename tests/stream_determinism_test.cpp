@@ -1,0 +1,148 @@
+// Determinism regression for the decomposed engine: two independently
+// constructed engines with the same seed must reproduce *identical*
+// SwitchMetrics — every scalar, every per-node time, every track sample —
+// under both algorithms, churn, the per-link capacity model and
+// multi-switch timelines.  This is the oracle that the PeerNode /
+// TransferPlane / SwitchTimeline decomposition (and every later scaling
+// refactor) preserves the simulation bit for bit.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/fast_switch.hpp"
+#include "core/normal_switch.hpp"
+#include "net/topology.hpp"
+#include "stream/engine.hpp"
+
+namespace gs::stream {
+namespace {
+
+struct RunOutput {
+  std::vector<SwitchMetrics> metrics;
+  EngineStats stats;
+};
+
+struct RunSpec {
+  std::uint64_t seed = 7;
+  bool fast = true;
+  bool churn = false;
+  bool per_link = false;
+  std::vector<net::NodeId> sources = {0, 1};
+  std::vector<double> switch_times = {0.0};
+};
+
+RunOutput run_setup(const RunSpec& setup) {
+  util::Rng rng(setup.seed);
+  net::Graph graph = net::preferential_attachment(50, 2, rng);
+  net::repair_min_degree(graph, 5, rng);
+  std::vector<double> pings(50);
+  for (auto& ping : pings) ping = rng.uniform(20.0, 200.0);
+
+  EngineConfig config;
+  config.seed = setup.seed;
+  config.horizon = 120.0;
+  if (setup.churn) {
+    config.churn_leave_fraction = 0.05;
+    config.churn_join_fraction = 0.05;
+  }
+  if (setup.per_link) config.supplier_capacity = SupplierCapacityModel::kPerLink;
+
+  std::shared_ptr<SchedulerStrategy> strategy;
+  if (setup.fast) {
+    strategy = std::make_shared<core::FastSwitchScheduler>();
+  } else {
+    strategy = std::make_shared<core::NormalSwitchScheduler>();
+  }
+  auto engine = std::make_unique<Engine>(std::move(graph), net::LatencyModel(std::move(pings)),
+                                         config, std::move(strategy));
+  engine->set_sources(setup.sources, setup.switch_times);
+  RunOutput out;
+  out.metrics = engine->run();
+  out.stats = engine->stats();
+  return out;
+}
+
+void expect_identical(const SwitchMetrics& a, const SwitchMetrics& b) {
+  EXPECT_EQ(a.switch_index, b.switch_index);
+  EXPECT_EQ(a.switch_time, b.switch_time);
+  EXPECT_EQ(a.tracked, b.tracked);
+  EXPECT_EQ(a.finished_s1, b.finished_s1);
+  EXPECT_EQ(a.prepared_s2, b.prepared_s2);
+  EXPECT_EQ(a.censored_finish, b.censored_finish);
+  EXPECT_EQ(a.censored_prepare, b.censored_prepare);
+  EXPECT_EQ(a.finish_times, b.finish_times) << "per-node finish times diverged";
+  EXPECT_EQ(a.prepared_times, b.prepared_times) << "per-node prepared times diverged";
+  EXPECT_EQ(a.s2_start_times, b.s2_start_times);
+  EXPECT_EQ(a.overhead_ratio, b.overhead_ratio);
+  EXPECT_EQ(a.control_ratio, b.control_ratio);
+  EXPECT_EQ(a.data_segments, b.data_segments);
+  ASSERT_EQ(a.track.size(), b.track.size());
+  for (std::size_t i = 0; i < a.track.size(); ++i) {
+    EXPECT_EQ(a.track[i].time, b.track[i].time);
+    EXPECT_EQ(a.track[i].undelivered_ratio_s1, b.track[i].undelivered_ratio_s1);
+    EXPECT_EQ(a.track[i].delivered_ratio_s2, b.track[i].delivered_ratio_s2);
+    EXPECT_EQ(a.track[i].live_tracked, b.track[i].live_tracked);
+  }
+}
+
+void expect_identical(const RunOutput& a, const RunOutput& b) {
+  ASSERT_EQ(a.metrics.size(), b.metrics.size());
+  for (std::size_t k = 0; k < a.metrics.size(); ++k) {
+    expect_identical(a.metrics[k], b.metrics[k]);
+  }
+  EXPECT_EQ(a.stats.segments_generated, b.stats.segments_generated);
+  EXPECT_EQ(a.stats.segments_delivered, b.stats.segments_delivered);
+  EXPECT_EQ(a.stats.segments_pushed, b.stats.segments_pushed);
+  EXPECT_EQ(a.stats.requests_issued, b.stats.requests_issued);
+  EXPECT_EQ(a.stats.requests_rejected, b.stats.requests_rejected);
+  EXPECT_EQ(a.stats.duplicates, b.stats.duplicates);
+  EXPECT_EQ(a.stats.joins, b.stats.joins);
+  EXPECT_EQ(a.stats.leaves, b.stats.leaves);
+  EXPECT_EQ(a.stats.old_stream_requests, b.stats.old_stream_requests);
+  EXPECT_EQ(a.stats.new_stream_requests, b.stats.new_stream_requests);
+}
+
+TEST(Determinism, FastSwitchReproducesIdenticalMetrics) {
+  RunSpec setup;
+  expect_identical(run_setup(setup), run_setup(setup));
+}
+
+TEST(Determinism, NormalSwitchReproducesIdenticalMetrics) {
+  RunSpec setup;
+  setup.fast = false;
+  expect_identical(run_setup(setup), run_setup(setup));
+}
+
+TEST(Determinism, ChurnRunReproducesIdenticalMetrics) {
+  RunSpec setup;
+  setup.seed = 19;
+  setup.churn = true;
+  expect_identical(run_setup(setup), run_setup(setup));
+}
+
+TEST(Determinism, PerLinkCapacityReproducesIdenticalMetrics) {
+  RunSpec setup;
+  setup.seed = 27;
+  setup.per_link = true;
+  expect_identical(run_setup(setup), run_setup(setup));
+}
+
+TEST(Determinism, MultiSwitchReproducesIdenticalMetrics) {
+  RunSpec setup;
+  setup.seed = 23;
+  setup.sources = {0, 1, 2};
+  setup.switch_times = {0.0, 60.0};
+  expect_identical(run_setup(setup), run_setup(setup));
+}
+
+TEST(Determinism, DifferentSeedsProduceDifferentRuns) {
+  RunSpec a;
+  RunSpec b;
+  b.seed = 8;
+  EXPECT_NE(run_setup(a).metrics.front().avg_prepared_time(),
+            run_setup(b).metrics.front().avg_prepared_time());
+}
+
+}  // namespace
+}  // namespace gs::stream
