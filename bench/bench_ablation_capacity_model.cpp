@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
     gs::exp::Config base =
         gs::exp::Config::paper_static(1000, gs::exp::AlgorithmKind::kFast, options.seed);
     base.engine.supplier_capacity = model;
+    options.apply_engine(base);
     const auto points = gs::exp::sweep_sizes(base, options.sizes, options.trials);
     gs::exp::print_switch_reduction(
         std::string("A6: supplier capacity = ") + std::string(gs::stream::to_string(model)),

@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
       gs::exp::Config config = gs::exp::Config::paper_static(
           nodes, gs::exp::AlgorithmKind::kFast, options.seed + trial * 1000);
       config.neighbor_target = m;
+      options.apply_engine(config);
       const auto& metrics = gs::exp::run_once(config).primary();
       switch_time += metrics.avg_prepared_time();
       finish += metrics.avg_finish_time();

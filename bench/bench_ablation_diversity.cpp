@@ -31,6 +31,7 @@ int main(int argc, char** argv) {
       config.engine.warm_start = false;  // cold start: the mesh must bootstrap
       config.engine.warmup = 40.0;
       config.engine.debug_series = true;
+      options.apply_engine(config);
       auto engine = gs::exp::make_engine(config);
       const auto metrics = engine->run();
       switch_time += metrics.front().avg_prepared_time();

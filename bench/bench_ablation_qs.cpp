@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
         gs::exp::Config config = gs::exp::Config::paper_static(
             nodes, fast ? gs::exp::AlgorithmKind::kFast : gs::exp::AlgorithmKind::kNormal, seed);
         config.engine.q_startup = qs;
+        options.apply_engine(config);
         const double t = gs::exp::run_once(config).primary().avg_prepared_time();
         (fast ? fast_time : normal_time) += t;
       }

@@ -14,6 +14,7 @@ int main(int argc, char** argv) {
     for (std::size_t trial = 0; trial < options.trials; ++trial) {
       const std::uint64_t seed = options.seed + trial * 1000;
       gs::exp::Config a = gs::exp::Config::paper_static(nodes, gs::exp::AlgorithmKind::kFast, seed);
+      options.apply_engine(a);
       paper_rarity += gs::exp::run_once(a).primary().avg_prepared_time();
       gs::exp::Config b = a;
       b.priority.traditional_rarity = true;

@@ -144,6 +144,7 @@ int main(int argc, char** argv) {
       gs::exp::Config config = gs::exp::Config::paper_static(nodes, gs::exp::AlgorithmKind::kFast,
                                                              options.seed + trial * 1000);
       config.engine.seed = config.seed;
+      options.apply_engine(config);
       const PolicyOutcome out = run_with(config, policy.make());
       sum.prepared += out.prepared;
       sum.finish += out.finish;

@@ -21,6 +21,14 @@ struct BenchOptions {
   std::size_t trials = 3;
   std::uint64_t seed = 1;
   std::string csv;  ///< optional CSV output path
+  bool batch_dispatch = false;
+
+  /// Applies the engine-level options to a run configuration.  Every bench
+  /// calls this on its base Config so flags like --batch-dispatch work
+  /// uniformly across the suite.
+  void apply_engine(exp::Config& config) const {
+    config.enable_batch_dispatch(batch_dispatch);
+  }
 };
 
 /// Parses the standard bench flags.  Returns false if --help was printed.
@@ -31,6 +39,8 @@ inline bool parse_bench_flags(int argc, char** argv, BenchOptions& options,
   flags.define_int("trials", 3, "paired trials per size");
   flags.define_int("seed", 1, "base experiment seed");
   flags.define_bool("quick", false, "small sizes / single trial (CI smoke)");
+  flags.define_bool("batch-dispatch", false,
+                    "batched tick dispatch (identical metrics, fewer events)");
   flags.define("csv", "", "optional CSV output path");
   flags.define("log", "warn", "log level");
   if (!flags.parse(argc, argv)) return false;
@@ -39,6 +49,7 @@ inline bool parse_bench_flags(int argc, char** argv, BenchOptions& options,
   options.trials = static_cast<std::size_t>(flags.get_int("trials"));
   options.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
   options.csv = flags.get("csv");
+  options.batch_dispatch = flags.get_bool("batch-dispatch");
 
   std::string list = flags.get_bool("quick") ? "100,500" : flags.get("sizes");
   if (flags.get_bool("quick")) options.trials = 1;

@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
     gs::exp::Config config = gs::exp::Config::paper_static(nodes, algorithm, options.seed);
     config.switch_times = {0.0, 60.0, 120.0};  // 4 speakers, 3 hand-overs
     config.engine.horizon = 150.0;
+    options.apply_engine(config);
     const gs::exp::RunResult result = gs::exp::run_once(config);
     for (const auto& m : result.switches) {
       std::printf("%10s  %10d  %18.2f  %18.2f\n",

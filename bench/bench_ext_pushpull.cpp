@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
             nodes, gs::exp::AlgorithmKind::kFast, options.seed + trial * 1000);
         config.engine.push_fresh_segments = fanout > 0;
         config.engine.push_fanout = fanout;
+        options.apply_engine(config);
         const gs::exp::RunResult result = gs::exp::run_once(config);
         switch_time += result.primary().avg_prepared_time();
         finish += result.primary().avg_finish_time();

@@ -8,8 +8,9 @@ int main(int argc, char** argv) {
   gs::benchtool::BenchOptions options;
   if (!gs::benchtool::parse_bench_flags(argc, argv, options)) return 0;
 
-  const gs::exp::Config base =
+  gs::exp::Config base =
       gs::exp::Config::paper_dynamic(1000, gs::exp::AlgorithmKind::kFast, options.seed);
+  options.apply_engine(base);
   const auto points = gs::exp::sweep_sizes(base, options.sizes, options.trials);
   gs::exp::print_switch_reduction(
       "Fig. 11: avg switch time and reduction ratio (dynamic environments)", points);

@@ -10,8 +10,9 @@ int main(int argc, char** argv) {
   gs::benchtool::BenchOptions options;
   if (!gs::benchtool::parse_bench_flags(argc, argv, options)) return 0;
 
-  const gs::exp::Config base =
+  gs::exp::Config base =
       gs::exp::Config::paper_static(1000, gs::exp::AlgorithmKind::kFast, options.seed);
+  options.apply_engine(base);
   const auto points = gs::exp::sweep_sizes(base, options.sizes, options.trials);
   gs::exp::print_times_table(
       "Fig. 6: avg finishing time of S1 and preparing time of S2 (static)", points);

@@ -10,8 +10,9 @@ int main(int argc, char** argv) {
   gs::benchtool::BenchOptions options;
   if (!gs::benchtool::parse_bench_flags(argc, argv, options)) return 0;
 
-  const gs::exp::Config base =
+  gs::exp::Config base =
       gs::exp::Config::paper_static(1000, gs::exp::AlgorithmKind::kFast, options.seed);
+  options.apply_engine(base);
   const auto points = gs::exp::sweep_sizes(base, options.sizes, options.trials);
   gs::exp::print_overhead("Fig. 8: communication overhead (static environments)", points);
   if (!options.csv.empty()) gs::exp::write_comparison_csv(options.csv, points);

@@ -9,10 +9,14 @@ int main(int argc, char** argv) {
   if (!gs::benchtool::parse_bench_flags(argc, argv, options, "1000")) return 0;
   const std::size_t nodes = options.sizes.empty() ? 1000 : options.sizes.front();
 
-  const gs::exp::RunResult fast = gs::exp::run_once(
-      gs::exp::Config::paper_dynamic(nodes, gs::exp::AlgorithmKind::kFast, options.seed));
-  const gs::exp::RunResult normal = gs::exp::run_once(
-      gs::exp::Config::paper_dynamic(nodes, gs::exp::AlgorithmKind::kNormal, options.seed));
+  gs::exp::Config fast_config =
+      gs::exp::Config::paper_dynamic(nodes, gs::exp::AlgorithmKind::kFast, options.seed);
+  options.apply_engine(fast_config);
+  gs::exp::Config normal_config =
+      gs::exp::Config::paper_dynamic(nodes, gs::exp::AlgorithmKind::kNormal, options.seed);
+  options.apply_engine(normal_config);
+  const gs::exp::RunResult fast = gs::exp::run_once(fast_config);
+  const gs::exp::RunResult normal = gs::exp::run_once(normal_config);
 
   gs::exp::print_ratio_tracks(
       "Fig. 9: ratio tracks in a dynamic network with " + std::to_string(nodes) +

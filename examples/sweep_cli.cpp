@@ -48,6 +48,9 @@ int main(int argc, char** argv) {
   flags.define_double("diversity", 0.25, "substrate diversity reservation fraction");
   flags.define_bool("traditional-rarity", false, "use 1/n rarity instead of eq. 8");
   flags.define("capacity", "shared-fifo", "supplier capacity model: shared-fifo|per-link");
+  flags.define_bool("batch-dispatch", false,
+                    "batched tick dispatch (identical metrics, fewer simulator events)");
+  flags.define_int("tick-shard", 16, "peers per tick shard (phase group; both dispatch modes)");
   flags.define_bool("push", false, "enable GridMedia-style fresh-segment push");
   flags.define_int("push-fanout", 2, "push fanout when --push");
   flags.define("csv", "", "write the comparison table to this CSV");
@@ -67,6 +70,8 @@ int main(int argc, char** argv) {
   base.priority.diversity_fraction = flags.get_double("diversity");
   base.priority.traditional_rarity = flags.get_bool("traditional-rarity");
   base.engine.supplier_capacity = gs::exp::capacity_from_string(flags.get("capacity"));
+  base.enable_batch_dispatch(flags.get_bool("batch-dispatch"));
+  base.engine.tick_shard_size = static_cast<std::size_t>(flags.get_int("tick-shard"));
   base.engine.push_fresh_segments = flags.get_bool("push");
   base.engine.push_fanout = static_cast<std::size_t>(flags.get_int("push-fanout"));
 

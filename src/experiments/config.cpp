@@ -72,6 +72,9 @@ void Config::validate() const {
     throw std::invalid_argument("trace_path required for kTraceFile");
   }
   if (engine.warmup <= 0.0) throw std::invalid_argument("warmup must be positive");
+  if (engine.tick_shard_size == 0) {
+    throw std::invalid_argument("tick_shard_size must be >= 1");
+  }
   if (switch_times.front() < 0.0) {
     throw std::invalid_argument("first switch must be at t >= 0 (warm-up is t < 0)");
   }

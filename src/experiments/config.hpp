@@ -57,6 +57,11 @@ struct Config {
     engine.churn_join_fraction = fraction;
   }
 
+  /// Turns on batched tick dispatch (`--batch-dispatch` in the CLIs).
+  /// Observable behaviour is unchanged — fixed-seed metrics are
+  /// bit-identical either way — only simulator event counts drop.
+  void enable_batch_dispatch(bool on = true) { engine.batch_dispatch = on; }
+
   /// Throws std::invalid_argument on inconsistent settings.
   void validate() const;
 

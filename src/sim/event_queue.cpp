@@ -8,7 +8,25 @@ namespace gs::sim {
 
 EventId EventQueue::schedule(Time at, std::function<void()> action) {
   const EventId id = next_id_++;
-  heap_.push_back(Entry{at, id, std::move(action)});
+  Entry entry;
+  entry.at = at;
+  entry.id = id;
+  entry.action = std::move(action);
+  heap_.push_back(std::move(entry));
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  ++live_;
+  return id;
+}
+
+EventId EventQueue::schedule(Time at, EventSink& sink, std::uint64_t a, std::uint64_t b) {
+  const EventId id = next_id_++;
+  Entry entry;
+  entry.at = at;
+  entry.id = id;
+  entry.sink = &sink;
+  entry.a = a;
+  entry.b = b;
+  heap_.push_back(std::move(entry));
   std::push_heap(heap_.begin(), heap_.end(), Later{});
   ++live_;
   return id;
@@ -68,7 +86,11 @@ Time EventQueue::pop_and_run() {
   Entry entry = std::move(heap_.back());
   heap_.pop_back();
   --live_;
-  entry.action();
+  if (entry.sink != nullptr) {
+    entry.sink->on_event(entry.a, entry.b);
+  } else {
+    entry.action();
+  }
   return entry.at;
 }
 

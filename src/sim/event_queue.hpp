@@ -3,6 +3,14 @@
 // A binary heap keyed by (time, sequence): the sequence number makes
 // same-time events fire in insertion order, which keeps runs bit-for-bit
 // reproducible regardless of heap internals.
+//
+// Two kinds of entry share the one sequence domain (so their mutual
+// ordering at a timestamp is still insertion order):
+//   - closure events: an arbitrary std::function<void()>;
+//   - pooled plain-struct events: an EventSink* plus two payload words
+//     stored inline in the heap entry.  Scheduling one never allocates —
+//     the entry vector IS the pool — which is what keeps the hot delivery
+//     path (one event per segment transfer) allocation-free.
 #pragma once
 
 #include <cstdint>
@@ -18,12 +26,27 @@ using Time = double;
 /// Identifies a scheduled event for cancellation.
 using EventId = std::uint64_t;
 
+/// Receiver of pooled plain-struct events.  The two payload words are
+/// whatever the scheduler packed (e.g. TransferPlane packs the requester
+/// node id and the segment id of a delivery).
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  virtual void on_event(std::uint64_t a, std::uint64_t b) = 0;
+};
+
 class EventQueue {
  public:
   /// Schedules `action` at absolute time `at`.  Returns an id usable with
   /// cancel().  `at` may equal the current head time; ties fire in
   /// scheduling order.
   EventId schedule(Time at, std::function<void()> action);
+
+  /// Schedules a pooled plain-struct event: at time `at`, calls
+  /// `sink.on_event(a, b)`.  Same ordering domain and cancellation rules as
+  /// the closure overload, but the entry carries the payload inline, so
+  /// this never allocates.  `sink` must outlive the event.
+  EventId schedule(Time at, EventSink& sink, std::uint64_t a, std::uint64_t b);
 
   /// Cancels a pending event.  Returns false if the event already fired,
   /// was already cancelled, or never existed.
@@ -46,6 +69,10 @@ class EventQueue {
   struct Entry {
     Time at;
     EventId id;
+    /// Non-null selects the pooled plain-struct path; `action` is unused.
+    EventSink* sink = nullptr;
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
     std::function<void()> action;
   };
   struct Later {

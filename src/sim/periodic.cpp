@@ -1,5 +1,7 @@
 #include "sim/periodic.hpp"
 
+#include <algorithm>
+
 #include "util/check.hpp"
 
 namespace gs::sim {
@@ -32,6 +34,74 @@ void PeriodicTask::arm(Time when) {
     action_(when);
     if (state->active) arm(when + period_);
   });
+}
+
+// ---------------------------------------------------------- BatchTicker ---
+
+BatchTicker::BatchTicker(Simulator& sim, Time period, Sweep sweep)
+    : sim_(sim), period_(period), sweep_(std::move(sweep)) {
+  GS_CHECK_GT(period, 0.0);
+  GS_CHECK(sweep_ != nullptr);
+}
+
+BatchTicker::~BatchTicker() {
+  for (Group& group : groups_) {
+    if (group.pending != 0) sim_.cancel(group.pending);
+  }
+}
+
+std::size_t BatchTicker::add_group(Time first) {
+  const std::size_t index = groups_.size();
+  groups_.emplace_back();
+  Group& group = groups_.back();
+  group.next = first;
+  group.pending = sim_.at(first, *this, index, 0);
+  return index;
+}
+
+void BatchTicker::add_member(std::size_t group, std::uint32_t member) {
+  GS_CHECK_LT(group, groups_.size());
+  GS_CHECK(group != sweeping_) << "cannot mutate a group mid-sweep";
+  Group& g = groups_[group];
+  GS_CHECK(g.pending != 0) << "group went dormant; create a new one";
+  g.members.push_back(member);
+}
+
+void BatchTicker::remove_member(std::size_t group, std::uint32_t member) {
+  GS_CHECK_LT(group, groups_.size());
+  GS_CHECK(group != sweeping_) << "cannot mutate a group mid-sweep";
+  auto& members = groups_[group].members;
+  const auto it = std::find(members.begin(), members.end(), member);
+  GS_CHECK(it != members.end());
+  members.erase(it);
+}
+
+std::size_t BatchTicker::member_count(std::size_t group) const {
+  GS_CHECK_LT(group, groups_.size());
+  return groups_[group].members.size();
+}
+
+bool BatchTicker::group_live(std::size_t group) const {
+  GS_CHECK_LT(group, groups_.size());
+  return groups_[group].pending != 0;
+}
+
+void BatchTicker::on_event(std::uint64_t a, std::uint64_t /*b*/) {
+  const auto index = static_cast<std::size_t>(a);
+  groups_[index].pending = 0;
+  const Time now = groups_[index].next;
+  // Index access throughout: a sweep that creates *other* groups (joiner
+  // singletons) may reallocate groups_; mutating this group's own member
+  // list mid-sweep is rejected by add_member/remove_member.
+  sweeping_ = index;
+  for (std::size_t i = 0; i < groups_[index].members.size(); ++i) {
+    sweep_(groups_[index].members[i], now);
+  }
+  sweeping_ = static_cast<std::size_t>(-1);
+  Group& group = groups_[index];
+  if (group.members.empty()) return;  // dormant: every member was removed
+  group.next = now + period_;
+  group.pending = sim_.at(group.next, *this, a, 0);
 }
 
 }  // namespace gs::sim

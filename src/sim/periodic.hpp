@@ -2,10 +2,16 @@
 //
 // Used for per-node scheduling ticks (τ = 1 s in the paper) and the churn
 // process.  Cancellation is needed when a node leaves the overlay.
+//
+// BatchTicker is the batched counterpart: groups of members that share a
+// tick phase are swept by ONE simulator event per group per period instead
+// of one PeriodicTask per member.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "sim/simulator.hpp"
 
@@ -41,6 +47,73 @@ class PeriodicTask {
   std::function<void(Time)> action_;
   std::shared_ptr<State> state_;
   EventId pending_ = 0;
+};
+
+/// Batched tick dispatch: each group holds members that tick at the same
+/// times (`first + k * period`), and one pooled simulator event per group
+/// per period sweeps them all.
+///
+/// The dispatch order is *exactly* the order the equivalent per-member
+/// PeriodicTasks would produce, which is what lets fixed-seed runs stay
+/// bit-identical when switching between the two dispatch modes:
+///   - members of a group are swept in add order (a per-member task armed
+///     later would carry a later event sequence number);
+///   - groups whose fire times tie run in group-creation order (creation
+///     schedules each group's first event, claiming a sequence slot, and
+///     re-arms happen in sweep order every period thereafter);
+///   - the group's re-arm is scheduled at the end of its sweep, collapsing
+///     the per-member run of re-arm sequence numbers into one.  No foreign
+///     event can land inside that run (only deliveries are scheduled while
+///     a sweep executes, and they target continuous, strictly later
+///     times), so the collapse preserves every cross-event ordering.
+class BatchTicker final : public EventSink {
+ public:
+  /// `sweep(member, now)` is invoked once per member per period.
+  using Sweep = std::function<void(std::uint32_t member, Time now)>;
+
+  BatchTicker(Simulator& sim, Time period, Sweep sweep);
+  ~BatchTicker() override;
+
+  BatchTicker(const BatchTicker&) = delete;
+  BatchTicker& operator=(const BatchTicker&) = delete;
+
+  /// Creates a group whose sweeps fire at `first + k * period` (`first` >=
+  /// sim.now()) and returns its index.  The first event is scheduled here,
+  /// so relative to other events already pending at `first` the group
+  /// orders by this call — the sequence slot a PeriodicTask armed at the
+  /// same call site would take.
+  std::size_t add_group(Time first);
+
+  /// Appends `member` to `group`'s sweep, after all existing members.  The
+  /// group must still be live (a group goes dormant once it fires with no
+  /// members left).
+  void add_member(std::size_t group, std::uint32_t member);
+
+  /// Removes `member` from `group`; remaining members keep their order.
+  void remove_member(std::size_t group, std::uint32_t member);
+
+  [[nodiscard]] std::size_t group_count() const noexcept { return groups_.size(); }
+  [[nodiscard]] std::size_t member_count(std::size_t group) const;
+  /// True until the group fires with no members (then it stops re-arming).
+  [[nodiscard]] bool group_live(std::size_t group) const;
+
+ private:
+  struct Group {
+    Time next = 0.0;
+    EventId pending = 0;
+    std::vector<std::uint32_t> members;
+  };
+
+  /// Sweeps group `a` at its fire time, then re-arms it.
+  void on_event(std::uint64_t a, std::uint64_t b) override;
+
+  Simulator& sim_;
+  Time period_;
+  Sweep sweep_;
+  std::vector<Group> groups_;
+  /// Group currently being swept (checked so a sweep callback cannot
+  /// mutate the member list it is iterating); npos when idle.
+  std::size_t sweeping_ = static_cast<std::size_t>(-1);
 };
 
 }  // namespace gs::sim

@@ -14,6 +14,16 @@ EventId Simulator::after(Time delay, std::function<void()> action) {
   return queue_.schedule(now_ + delay, std::move(action));
 }
 
+EventId Simulator::at(Time when, EventSink& sink, std::uint64_t a, std::uint64_t b) {
+  GS_CHECK_GE(when, now_);
+  return queue_.schedule(when, sink, a, b);
+}
+
+EventId Simulator::after(Time delay, EventSink& sink, std::uint64_t a, std::uint64_t b) {
+  GS_CHECK_GE(delay, 0.0);
+  return queue_.schedule(now_ + delay, sink, a, b);
+}
+
 std::size_t Simulator::run_until(Time until) {
   stop_requested_ = false;
   std::size_t ran = 0;

@@ -22,6 +22,12 @@ class Simulator {
   EventId at(Time when, std::function<void()> action);
   /// Schedules `delay >= 0` seconds from now.
   EventId after(Time delay, std::function<void()> action);
+  /// Pooled plain-struct variants: at `when` / after `delay`, calls
+  /// `sink.on_event(a, b)`.  Never allocates (payload is stored inline in
+  /// the queue entry); same ordering/cancellation semantics as the closure
+  /// overloads.
+  EventId at(Time when, EventSink& sink, std::uint64_t a, std::uint64_t b);
+  EventId after(Time delay, EventSink& sink, std::uint64_t a, std::uint64_t b);
   /// Cancels a pending event; false if it already fired.
   bool cancel(EventId id) { return queue_.cancel(id); }
 

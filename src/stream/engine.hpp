@@ -100,9 +100,21 @@ struct EngineConfig {
   /// Switch discovery also spreads via per-source buffer-map headers (one
   /// hop per exchange); segment metadata always announces it.
   bool discover_via_maps = true;
-  /// Randomize per-node tick phase within the period (desynchronized
-  /// clients); ticks are lockstep at period boundaries when false.
+  /// Randomize tick phase within the period (desynchronized clients);
+  /// ticks are lockstep at period boundaries when false.  Phases are drawn
+  /// per *shard* (see tick_shard_size), not per peer, so the schedule is
+  /// identical under both dispatch modes.
   bool stagger_ticks = true;
+  /// Batched tick dispatch: sweep each shard's peers with one simulator
+  /// event per period (sim::BatchTicker) instead of one PeriodicTask per
+  /// peer.  Pure mechanism: fixed-seed metrics are bit-identical with the
+  /// flag on or off (enforced by stream_determinism_test); only the event
+  /// count and the scheduling overhead change.
+  bool batch_dispatch = false;
+  /// Peers per tick shard: peers [s*size, (s+1)*size) share one stagger
+  /// phase and, under batch_dispatch, one sweep event.  Shared by both
+  /// dispatch modes so they produce the same schedule; must be >= 1.
+  std::size_t tick_shard_size = 16;
   /// GridMedia-style extension: relay freshly received segments to random
   /// neighbours without a request (costs data bits; adds redundancy).
   bool push_fresh_segments = false;
@@ -139,6 +151,9 @@ struct EngineStats {
   /// Requests issued for old-stream / new-stream segments during splits.
   std::uint64_t old_stream_requests = 0;
   std::uint64_t new_stream_requests = 0;
+  /// Simulator events popped over the whole run (dispatch-cost diagnostic:
+  /// batch_dispatch lowers this without changing any other stat).
+  std::uint64_t events_popped = 0;
 };
 
 class Engine {
@@ -192,7 +207,11 @@ class Engine {
   void init_peers();
   void init_peer_state(PeerNode& p, net::NodeId v);
   void warm_start_state();
-  void start_peer_tick(PeerNode& p);
+  /// Tick phase of peer `v`: its shard's stagger phase (0 when lockstep).
+  [[nodiscard]] double tick_offset(net::NodeId v) const;
+  /// `initial` peers join their shard's batch group; joiners get singleton
+  /// groups (their grid starts at the join time, not the run start).
+  void start_peer_tick(PeerNode& p, bool initial);
   void start_debug_series();
   net::NodeId handle_join();
   void handle_leave(net::NodeId v);
@@ -256,6 +275,12 @@ class Engine {
   std::unique_ptr<sim::PeriodicTask> generation_task_;
   std::unique_ptr<sim::PeriodicTask> churn_task_;
   std::unique_ptr<sim::PeriodicTask> sampler_task_;
+
+  /// Batched tick dispatch (config_.batch_dispatch only).
+  std::unique_ptr<sim::BatchTicker> ticker_;
+  /// shard index -> ticker group (initial peers only; kNoTickGroup until
+  /// the shard's first non-source peer arms it).
+  std::vector<std::size_t> shard_group_;
 
   util::Rng churn_rng_;
   util::Rng setup_rng_;

@@ -39,17 +39,49 @@ void Engine::init_peers() {
     p.start_id = 0;
   }
   membership_.bootstrap_all_live();
-  for (net::NodeId v = 0; v < graph_.node_count(); ++v) start_peer_tick(peers_[v]);
+  for (net::NodeId v = 0; v < graph_.node_count(); ++v) {
+    start_peer_tick(peers_[v], /*initial=*/true);
+  }
 }
 
-void Engine::start_peer_tick(PeerNode& p) {
+double Engine::tick_offset(net::NodeId v) const {
+  if (!config_.stagger_ticks) return 0.0;
+  const std::size_t shard = v / std::max<std::size_t>(1, config_.tick_shard_size);
+  return util::Rng(config_.seed)
+      .fork(util::hash_name("tick-phase"))
+      .fork(shard)
+      .uniform(0.0, config_.tau);
+}
+
+void Engine::start_peer_tick(PeerNode& p, bool initial) {
   if (p.is_source) return;  // sources never pull
-  const double offset =
-      config_.stagger_ticks ? p.rng.uniform(0.0, config_.tau) : 0.0;
-  const net::NodeId id = p.id;
-  p.tick_task = std::make_unique<sim::PeriodicTask>(
-      sim_, sim_.now() + offset, config_.tau,
-      [this, id](double now) { tick(peers_[id], now); });
+  const double start = sim_.now() + tick_offset(p.id);
+  if (!config_.batch_dispatch) {
+    const net::NodeId id = p.id;
+    p.tick_task = std::make_unique<sim::PeriodicTask>(
+        sim_, start, config_.tau, [this, id](double now) { tick(peers_[id], now); });
+    return;
+  }
+  if (!ticker_) {
+    ticker_ = std::make_unique<sim::BatchTicker>(
+        sim_, config_.tau,
+        [this](std::uint32_t member, double now) { tick(peers_[member], now); });
+  }
+  if (initial) {
+    // Initial peers of a shard share the same start time; the shard's
+    // group is armed by its first non-source peer, so the group's event
+    // claims exactly the sequence slot that peer's PeriodicTask would.
+    const std::size_t shard = p.id / std::max<std::size_t>(1, config_.tick_shard_size);
+    if (shard >= shard_group_.size()) shard_group_.resize(shard + 1, kNoTickGroup);
+    if (shard_group_[shard] == kNoTickGroup) shard_group_[shard] = ticker_->add_group(start);
+    p.tick_group = shard_group_[shard];
+  } else {
+    // Joiners tick on their own grid (join time + phase), so they get a
+    // singleton group; its fresh event id matches the fresh PeriodicTask a
+    // per-peer run would create at this very call.
+    p.tick_group = ticker_->add_group(start);
+  }
+  ticker_->add_member(p.tick_group, p.id);
 }
 
 // --------------------------------------------------------------- churn ---
@@ -89,6 +121,10 @@ void Engine::handle_leave(net::NodeId v) {
   GS_CHECK(!p.is_source);
   p.alive = false;
   if (p.tick_task) p.tick_task->cancel();
+  if (p.tick_group != kNoTickGroup) {
+    ticker_->remove_member(p.tick_group, p.id);
+    p.tick_group = kNoTickGroup;
+  }
   membership_.leave(v);
   ++stats_.leaves;
   if (p.tracked && p.active_switch >= 0) {
@@ -137,7 +173,7 @@ net::NodeId Engine::handle_join() {
       p.start_id <= timeline_.session(static_cast<std::size_t>(current)).last) {
     timeline_.init_switch_counters(p, current, sim_.now(), config_.q_startup);
   }
-  start_peer_tick(p);
+  start_peer_tick(p, /*initial=*/false);
   return v;
 }
 
@@ -261,7 +297,7 @@ std::vector<SwitchMetrics> Engine::run() {
   const double stop_at =
       (timeline_.switch_count() == 0 ? 0.0 : timeline_.switch_times().back()) +
       config_.horizon;
-  sim_.run_until(stop_at);
+  stats_.events_popped = sim_.run_until(stop_at);
 
   // Censor peers that never completed within the horizon, then compute the
   // per-switch overhead ratios from the snapshot deltas.

@@ -23,6 +23,9 @@
 
 namespace gs::stream {
 
+/// "No batch-ticker group" sentinel for PeerNode::tick_group.
+inline constexpr std::size_t kNoTickGroup = static_cast<std::size_t>(-1);
+
 struct PeerNode {
   net::NodeId id = 0;
   bool is_source = false;
@@ -68,7 +71,11 @@ struct PeerNode {
   bool gate_armed = false;   ///< playback gate set for the active switch
 
   util::Rng rng;
+  /// Per-peer dispatch: the repeating tick event (null under batching).
   std::unique_ptr<sim::PeriodicTask> tick_task;
+  /// Batched dispatch: index of this peer's sim::BatchTicker group
+  /// (kNoTickGroup when per-peer dispatch is active or the peer left).
+  std::size_t tick_group = kNoTickGroup;
 
   // Diagnostics.
   std::uint64_t requests_issued = 0;

@@ -125,8 +125,7 @@ bool TransferPlane::request(PeerNode& requester, const PeerNode& supplier, Segme
   capacity_->commit(requester.id, supplier.id, start + tx);
   const double deliver_at =
       start + tx + latency_.jittered_delay_s(requester.id, supplier.id, requester.rng);
-  const net::NodeId to = requester.id;
-  sim_.after(deliver_at - now, [this, to, id] { on_delivery_(to, id); });
+  sim_.after(deliver_at - now, *this, requester.id, static_cast<std::uint64_t>(id));
   return true;
 }
 
@@ -137,8 +136,12 @@ bool TransferPlane::push(PeerNode& from, net::NodeId to, SegmentId id, double no
   const double tx = 1.0 / from.outbound_rate;
   uplink_busy_until_[from.id] = start + tx;
   const double deliver_at = start + tx + latency_.jittered_delay_s(to, from.id, from.rng);
-  sim_.after(deliver_at - now, [this, to, id] { on_delivery_(to, id); });
+  sim_.after(deliver_at - now, *this, to, static_cast<std::uint64_t>(id));
   return true;
+}
+
+void TransferPlane::on_event(std::uint64_t a, std::uint64_t b) {
+  on_delivery_(static_cast<net::NodeId>(a), static_cast<SegmentId>(b));
 }
 
 double TransferPlane::uplink_busy_until(net::NodeId v) const {

@@ -65,7 +65,7 @@ class CapacityModel {
   virtual void ensure_nodes(std::size_t count) = 0;
 };
 
-class TransferPlane {
+class TransferPlane final : public sim::EventSink {
  public:
   using DeliveryFn = std::function<void(net::NodeId to, SegmentId id)>;
 
@@ -104,6 +104,11 @@ class TransferPlane {
   [[nodiscard]] double uplink_busy_until(net::NodeId v) const;
 
  private:
+  /// Pooled delivery event: `a` is the requester node id, `b` the segment
+  /// id.  The payload lives inline in the event-queue entry, so the per-
+  /// transfer hot path schedules deliveries without allocating a closure.
+  void on_event(std::uint64_t a, std::uint64_t b) override;
+
   sim::Simulator& sim_;
   net::LatencyModel& latency_;
   SupplierCapacityModel kind_;

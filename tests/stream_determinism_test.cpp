@@ -28,6 +28,8 @@ struct RunSpec {
   bool fast = true;
   bool churn = false;
   bool per_link = false;
+  bool batch = false;
+  bool stagger = true;
   std::vector<net::NodeId> sources = {0, 1};
   std::vector<double> switch_times = {0.0};
 };
@@ -47,6 +49,8 @@ RunOutput run_setup(const RunSpec& setup) {
     config.churn_join_fraction = 0.05;
   }
   if (setup.per_link) config.supplier_capacity = SupplierCapacityModel::kPerLink;
+  config.batch_dispatch = setup.batch;
+  config.stagger_ticks = setup.stagger;
 
   std::shared_ptr<SchedulerStrategy> strategy;
   if (setup.fast) {
@@ -134,6 +138,84 @@ TEST(Determinism, MultiSwitchReproducesIdenticalMetrics) {
   setup.sources = {0, 1, 2};
   setup.switch_times = {0.0, 60.0};
   expect_identical(run_setup(setup), run_setup(setup));
+}
+
+// ---------------------------------------------------------------------------
+// Batched tick dispatch must be *observably invisible*: the same seed with
+// batch_dispatch on and off has to reproduce every metric bit for bit, in
+// every scenario dimension (algorithm, churn, capacity model, multi-switch,
+// staggered and lockstep phases).  Only the event count may change.
+
+RunOutput run_batched(RunSpec setup) {
+  setup.batch = true;
+  return run_setup(setup);
+}
+
+TEST(BatchDispatch, FastSwitchMatchesPerPeerDispatch) {
+  RunSpec setup;
+  expect_identical(run_setup(setup), run_batched(setup));
+}
+
+TEST(BatchDispatch, NormalSwitchMatchesPerPeerDispatch) {
+  RunSpec setup;
+  setup.fast = false;
+  expect_identical(run_setup(setup), run_batched(setup));
+}
+
+TEST(BatchDispatch, ChurnMatchesPerPeerDispatch) {
+  RunSpec setup;
+  setup.seed = 19;
+  setup.churn = true;
+  expect_identical(run_setup(setup), run_batched(setup));
+}
+
+TEST(BatchDispatch, PerLinkCapacityMatchesPerPeerDispatch) {
+  RunSpec setup;
+  setup.seed = 27;
+  setup.per_link = true;
+  expect_identical(run_setup(setup), run_batched(setup));
+}
+
+TEST(BatchDispatch, MultiSwitchMatchesPerPeerDispatch) {
+  RunSpec setup;
+  setup.seed = 23;
+  setup.sources = {0, 1, 2};
+  setup.switch_times = {0.0, 60.0};
+  expect_identical(run_setup(setup), run_batched(setup));
+}
+
+TEST(BatchDispatch, LockstepTicksMatchPerPeerDispatch) {
+  // Lockstep phases force systematic timestamp ties between peer ticks,
+  // generation, churn and the switch event — the hardest ordering case.
+  RunSpec setup;
+  setup.seed = 31;
+  setup.stagger = false;
+  expect_identical(run_setup(setup), run_batched(setup));
+}
+
+TEST(BatchDispatch, LockstepChurnMatchesPerPeerDispatch) {
+  RunSpec setup;
+  setup.seed = 37;
+  setup.stagger = false;
+  setup.churn = true;
+  expect_identical(run_setup(setup), run_batched(setup));
+}
+
+TEST(BatchDispatch, BatchedRunsReproduceThemselves) {
+  RunSpec setup;
+  setup.seed = 41;
+  setup.batch = true;
+  setup.churn = true;
+  expect_identical(run_setup(setup), run_setup(setup));
+}
+
+TEST(BatchDispatch, PopsFewerEventsThanPerPeerDispatch) {
+  RunSpec setup;
+  const RunOutput per_peer = run_setup(setup);
+  const RunOutput batched = run_batched(setup);
+  EXPECT_LT(batched.stats.events_popped, per_peer.stats.events_popped)
+      << "batching should collapse per-peer tick events into shard sweeps";
+  EXPECT_GT(batched.stats.events_popped, 0u);
 }
 
 TEST(Determinism, DifferentSeedsProduceDifferentRuns) {
