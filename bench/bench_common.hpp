@@ -22,12 +22,15 @@ struct BenchOptions {
   std::uint64_t seed = 1;
   std::string csv;  ///< optional CSV output path
   bool batch_dispatch = false;
+  bool incremental_availability = false;
+  bool delta_maps = false;
 
   /// Applies the engine-level options to a run configuration.  Every bench
   /// calls this on its base Config so flags like --batch-dispatch work
   /// uniformly across the suite.
   void apply_engine(exp::Config& config) const {
     config.enable_batch_dispatch(batch_dispatch);
+    config.enable_incremental_availability(incremental_availability || delta_maps, delta_maps);
   }
 };
 
@@ -41,6 +44,11 @@ inline bool parse_bench_flags(int argc, char** argv, BenchOptions& options,
   flags.define_bool("quick", false, "small sizes / single trial (CI smoke)");
   flags.define_bool("batch-dispatch", false,
                     "batched tick dispatch (identical metrics, fewer events)");
+  flags.define_bool("incremental-availability", false,
+                    "delta-maintained availability views (identical metrics, less scan work)");
+  flags.define_bool("delta-maps", false,
+                    "charge availability gossip as buffer-map deltas (implies "
+                    "--incremental-availability; lowers the overhead metric)");
   flags.define("csv", "", "optional CSV output path");
   flags.define("log", "warn", "log level");
   if (!flags.parse(argc, argv)) return false;
@@ -50,6 +58,8 @@ inline bool parse_bench_flags(int argc, char** argv, BenchOptions& options,
   options.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
   options.csv = flags.get("csv");
   options.batch_dispatch = flags.get_bool("batch-dispatch");
+  options.incremental_availability = flags.get_bool("incremental-availability");
+  options.delta_maps = flags.get_bool("delta-maps");
 
   std::string list = flags.get_bool("quick") ? "100,500" : flags.get("sizes");
   if (flags.get_bool("quick")) options.trials = 1;

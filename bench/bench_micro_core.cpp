@@ -216,6 +216,53 @@ BENCHMARK(BM_EngineDispatch)
     ->Args({10000, 1})
     ->Unit(benchmark::kMillisecond);
 
+// Candidate-build cost: the same trimmed-horizon experiment with the
+// availability plane rescanning neighbour buffers per tick (incremental=0)
+// vs maintained by deltas (incremental=1).  The two rows of a size are the
+// same seed and produce bit-identical metrics (stream_determinism_test
+// enforces that); availability_probes counts supplier-membership probes
+// during candidate build and index_updates the delta events that replaced
+// the rescans, so the wall-clock delta and the probe drop isolate the
+// scan-work saving.
+void BM_BuildCandidates(benchmark::State& state) {
+  const auto nodes = static_cast<std::size_t>(state.range(0));
+  const bool incremental = state.range(1) != 0;
+  std::uint64_t probes = 0;
+  std::uint64_t index_updates = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t runs = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    gs::exp::Config config =
+        gs::exp::Config::paper_static(nodes, gs::exp::AlgorithmKind::kFast, 1);
+    config.enable_incremental_availability(incremental);
+    config.engine.horizon = 15.0;        // scan cost, not paper metrics
+    config.engine.history_seconds = 30.0;
+    auto engine = gs::exp::make_engine(config);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(engine->run());
+    probes += engine->stats().availability_probes;
+    index_updates += engine->stats().index_updates;
+    delivered += engine->stats().segments_delivered;
+    ++runs;
+  }
+  state.counters["availability_probes"] =
+      benchmark::Counter(static_cast<double>(probes) / static_cast<double>(runs));
+  state.counters["index_updates"] =
+      benchmark::Counter(static_cast<double>(index_updates) / static_cast<double>(runs));
+  state.counters["delivered"] =
+      benchmark::Counter(static_cast<double>(delivered) / static_cast<double>(runs));
+}
+BENCHMARK(BM_BuildCandidates)
+    ->ArgNames({"peers", "incremental"})
+    ->Args({100, 0})
+    ->Args({100, 1})
+    ->Args({1000, 0})
+    ->Args({1000, 1})
+    ->Args({10000, 0})
+    ->Args({10000, 1})
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
 BENCHMARK_MAIN();

@@ -50,6 +50,12 @@ int main(int argc, char** argv) {
   flags.define("capacity", "shared-fifo", "supplier capacity model: shared-fifo|per-link");
   flags.define_bool("batch-dispatch", false,
                     "batched tick dispatch (identical metrics, fewer simulator events)");
+  flags.define_bool("incremental-availability", false,
+                    "delta-maintained availability views (identical metrics, less scan work)");
+  flags.define_bool("delta-maps", false,
+                    "charge availability gossip as buffer-map deltas (implies "
+                    "--incremental-availability; lowers the overhead metric)");
+  flags.define_int("map-refresh", 10, "adverts between full-map refreshes under --delta-maps");
   flags.define_int("tick-shard", 16, "peers per tick shard (phase group; both dispatch modes)");
   flags.define_bool("push", false, "enable GridMedia-style fresh-segment push");
   flags.define_int("push-fanout", 2, "push fanout when --push");
@@ -71,6 +77,10 @@ int main(int argc, char** argv) {
   base.priority.traditional_rarity = flags.get_bool("traditional-rarity");
   base.engine.supplier_capacity = gs::exp::capacity_from_string(flags.get("capacity"));
   base.enable_batch_dispatch(flags.get_bool("batch-dispatch"));
+  base.enable_incremental_availability(
+      flags.get_bool("incremental-availability") || flags.get_bool("delta-maps"),
+      flags.get_bool("delta-maps"));
+  base.engine.map_refresh_period = static_cast<std::size_t>(flags.get_int("map-refresh"));
   base.engine.tick_shard_size = static_cast<std::size_t>(flags.get_int("tick-shard"));
   base.engine.push_fresh_segments = flags.get_bool("push");
   base.engine.push_fanout = static_cast<std::size_t>(flags.get_int("push-fanout"));

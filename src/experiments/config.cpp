@@ -75,6 +75,12 @@ void Config::validate() const {
   if (engine.tick_shard_size == 0) {
     throw std::invalid_argument("tick_shard_size must be >= 1");
   }
+  if (engine.delta_maps && !engine.incremental_availability) {
+    throw std::invalid_argument("delta_maps requires incremental_availability");
+  }
+  if (engine.map_refresh_period == 0) {
+    throw std::invalid_argument("map_refresh_period must be >= 1");
+  }
   if (switch_times.front() < 0.0) {
     throw std::invalid_argument("first switch must be at t >= 0 (warm-up is t < 0)");
   }

@@ -62,6 +62,17 @@ struct Config {
   /// bit-identical either way — only simulator event counts drop.
   void enable_batch_dispatch(bool on = true) { engine.batch_dispatch = on; }
 
+  /// Turns on the incremental availability plane
+  /// (`--incremental-availability`).  Like batch dispatch this is pure
+  /// mechanism: fixed-seed metrics are bit-identical either way; only the
+  /// candidate-scan work drops.  `delta` additionally charges availability
+  /// gossip as BufferMapDelta exchanges (`--delta-maps`) — an accounting
+  /// change that lowers the overhead-ratio metric by design.
+  void enable_incremental_availability(bool on = true, bool delta = false) {
+    engine.incremental_availability = on;
+    engine.delta_maps = on && delta;
+  }
+
   /// Throws std::invalid_argument on inconsistent settings.
   void validate() const;
 

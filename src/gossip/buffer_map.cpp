@@ -19,9 +19,26 @@ void BufferMap::mark(SegmentId id) {
   bits_.set(static_cast<std::size_t>(id - base_));
 }
 
+BufferMap BufferMap::from_presence(SegmentId base, std::size_t window_bits,
+                                   const util::DynamicBitset& presence) {
+  GS_CHECK_GE(base, 0);
+  BufferMap map(base, window_bits);
+  map.bits_ =
+      util::DynamicBitset::copy_window(presence, static_cast<std::size_t>(base), window_bits);
+  return map;
+}
+
 bool BufferMap::available(SegmentId id) const noexcept {
   if (!in_window(id)) return false;
   return bits_.test(static_cast<std::size_t>(id - base_));
+}
+
+std::uint64_t BufferMap::window_word(SegmentId from_id) const noexcept {
+  const SegmentId offset = from_id - base_;
+  if (offset >= static_cast<SegmentId>(bits_.size()) || offset <= -64) return 0;
+  if (offset >= 0) return bits_.extract_word(static_cast<std::size_t>(offset));
+  // Straddling the window start: the below-base ids read 0.
+  return bits_.extract_word(0) << static_cast<std::size_t>(-offset);
 }
 
 std::optional<SegmentId> BufferMap::first_available(SegmentId from) const noexcept {

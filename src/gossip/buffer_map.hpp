@@ -36,8 +36,19 @@ class BufferMap {
 
   /// Marks `id` available; ignores ids outside the window.
   void mark(SegmentId id);
+
+  /// A map whose window [base, base + window_bits) is copied word-at-a-time
+  /// from an id-indexed presence bitset (bit i of `presence` = id i held).
+  [[nodiscard]] static BufferMap from_presence(SegmentId base, std::size_t window_bits,
+                                               const util::DynamicBitset& presence);
   /// Availability of `id`; false outside the window.
   [[nodiscard]] bool available(SegmentId id) const noexcept;
+
+  /// Availability of the 64 ids starting at `from_id` as one word (bit i =
+  /// from_id + i); ids outside the window read 0.  `from_id` may be below
+  /// the base or even negative — this is the word-at-a-time kernel
+  /// BufferMapDelta::diff uses to compare differently-based windows.
+  [[nodiscard]] std::uint64_t window_word(SegmentId from_id) const noexcept;
 
   [[nodiscard]] std::size_t available_count() const noexcept { return bits_.count(); }
 

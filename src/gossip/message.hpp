@@ -9,15 +9,17 @@
 #include <cstdint>
 
 #include "gossip/buffer_map.hpp"
+#include "gossip/buffer_map_delta.hpp"
 
 namespace gs::gossip {
 
 /// Message kinds that cross the overlay.
 enum class MessageKind : std::uint8_t {
-  kBufferMap,   ///< periodic availability exchange (control)
-  kRequest,     ///< segment pull request (control)
-  kData,        ///< segment payload (data)
-  kMembership,  ///< join/leave/repair traffic (control, not in paper's ratio)
+  kBufferMap,       ///< periodic full availability exchange (control)
+  kBufferMapDelta,  ///< incremental availability exchange (control)
+  kRequest,         ///< segment pull request (control)
+  kData,            ///< segment payload (data)
+  kMembership,      ///< join/leave/repair traffic (control, not in paper's ratio)
 };
 
 /// Wire-size model, configurable so ablations can change segment size or
@@ -28,10 +30,18 @@ struct WireFormat {
   std::size_t request_id_bits = BufferMap::kBaseIdBits;  ///< one id per requested segment
   std::size_t segment_payload_bits = 30 * 1024;  ///< 30 Kb per segment (§5.1)
   std::size_t membership_record_bits = 48;  ///< ip+port of one peer
+  /// Delta exchange framing (see BufferMapDelta): base + run count header,
+  /// then one offset/length pair per toggled-bit run.
+  std::size_t delta_header_bits = BufferMapDelta::kHeaderBits;
+  std::size_t delta_run_bits = BufferMapDelta::kRunBits;
 
   /// Bits of one buffer-map exchange: base id + window bitmap.
   [[nodiscard]] constexpr std::size_t buffer_map_bits() const noexcept {
     return base_id_bits + buffer_window_bits;
+  }
+  /// Bits of one incremental buffer-map exchange carrying `runs` runs.
+  [[nodiscard]] constexpr std::size_t buffer_map_delta_bits(std::size_t runs) const noexcept {
+    return delta_header_bits + delta_run_bits * runs;
   }
   /// Bits of a pull request for `segment_count` segments.
   [[nodiscard]] constexpr std::size_t request_bits(std::size_t segment_count) const noexcept {

@@ -7,6 +7,17 @@ void OverheadAccountant::charge_buffer_map_exchange() noexcept {
   buffer_map_bits_ += wire_.buffer_map_bits();
 }
 
+void OverheadAccountant::charge_buffer_map_exchanges(std::size_t count) noexcept {
+  if (!enabled_) return;
+  buffer_map_bits_ += wire_.buffer_map_bits() * count;
+}
+
+void OverheadAccountant::charge_buffer_map_delta(std::size_t run_count,
+                                                 std::size_t receiver_count) noexcept {
+  if (!enabled_) return;
+  buffer_map_bits_ += wire_.buffer_map_delta_bits(run_count) * receiver_count;
+}
+
 void OverheadAccountant::charge_request(std::size_t segment_count) noexcept {
   if (!enabled_) return;
   request_bits_ += wire_.request_bits(segment_count);

@@ -24,6 +24,11 @@ class OverheadAccountant {
   [[nodiscard]] bool enabled() const noexcept { return enabled_; }
 
   void charge_buffer_map_exchange() noexcept;
+  /// `count` full-map exchanges at once (one per neighbour of a tick).
+  void charge_buffer_map_exchanges(std::size_t count) noexcept;
+  /// One delta advert of `run_count` toggled-bit runs sent to
+  /// `receiver_count` neighbours (incremental availability mode).
+  void charge_buffer_map_delta(std::size_t run_count, std::size_t receiver_count) noexcept;
   void charge_request(std::size_t segment_count) noexcept;
   void charge_data_segment() noexcept;
   void charge_membership(std::size_t records) noexcept;

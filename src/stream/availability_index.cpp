@@ -1,0 +1,164 @@
+#include "stream/availability_index.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace gs::stream {
+
+void AvailabilityIndex::build(const net::Graph& graph, const std::vector<PeerNode>& peers) {
+  views_.assign(peers.size(), View{});
+  for (net::NodeId v = 0; v < peers.size(); ++v) {
+    if (peers[v].alive && !peers[v].is_source) build_view(graph, peers, v);
+  }
+  enabled_ = true;
+}
+
+void AvailabilityIndex::build_view(const net::Graph& graph, const std::vector<PeerNode>& peers,
+                                   net::NodeId v) {
+  View& w = views_[v];
+  w.built = true;
+  for (const net::NodeId nb : graph.neighbors(v)) {
+    if (!peers[nb].alive) continue;
+    w.alive_neighbors.push_back(nb);  // graph adjacency is sorted by id
+    add_supplier(w, peers[nb]);
+  }
+}
+
+const AvailabilityIndex::View& AvailabilityIndex::view(net::NodeId v) const {
+  GS_CHECK_LT(v, views_.size());
+  GS_CHECK(views_[v].built);
+  return views_[v];
+}
+
+void AvailabilityIndex::ensure_capacity(View& w, SegmentId id) {
+  const auto needed = static_cast<std::size_t>(id) + 1;
+  if (w.supplier_count.size() < needed) {
+    // Geometric growth: ids arrive in near-streaming order, so this
+    // amortizes to O(1) per delivered segment.
+    const std::size_t grown = std::max(needed, w.supplier_count.size() * 2 + 64);
+    w.supplier_count.resize(grown, 0);
+    w.supplied.resize(grown);
+  }
+}
+
+void AvailabilityIndex::on_gain(const net::Graph& graph, net::NodeId owner, SegmentId id) {
+  for (const net::NodeId nb : graph.neighbors(owner)) {
+    View& w = views_[nb];
+    if (!w.built) continue;
+    ensure_capacity(w, id);
+    if (w.supplier_count[static_cast<std::size_t>(id)]++ == 0) {
+      w.supplied.set(static_cast<std::size_t>(id));
+    }
+    w.head = std::max(w.head, id);
+    ++updates_;
+  }
+}
+
+void AvailabilityIndex::on_evict(const net::Graph& graph, const std::vector<PeerNode>& peers,
+                                 net::NodeId owner, SegmentId victim) {
+  for (const net::NodeId nb : graph.neighbors(owner)) {
+    View& w = views_[nb];
+    if (!w.built) continue;
+    auto& count = w.supplier_count[static_cast<std::size_t>(victim)];
+    GS_CHECK_GT(count, 0u);
+    if (--count == 0) w.supplied.reset(static_cast<std::size_t>(victim));
+    // Evicting the cached head is rare (needs heavy id reordering in the
+    // owner's buffer); recompute from the post-eviction buffers.
+    if (victim == w.head) recompute_head(w, peers);
+    ++updates_;
+  }
+}
+
+void AvailabilityIndex::on_boundary(const net::Graph& graph, net::NodeId owner, int boundary) {
+  for (const net::NodeId nb : graph.neighbors(owner)) {
+    View& w = views_[nb];
+    if (!w.built) continue;
+    w.boundary_max = std::max(w.boundary_max, boundary);
+    ++updates_;
+  }
+}
+
+void AvailabilityIndex::add_supplier(View& w, const PeerNode& neighbor) {
+  const util::DynamicBitset& presence = neighbor.buffer.presence();
+  for (std::size_t pos = presence.find_first(0); pos < presence.size();
+       pos = presence.find_first(pos + 1)) {
+    const auto id = static_cast<SegmentId>(pos);
+    ensure_capacity(w, id);
+    if (w.supplier_count[pos]++ == 0) w.supplied.set(pos);
+  }
+  w.head = std::max(w.head, neighbor.buffer.max_id());
+  w.boundary_max = std::max(w.boundary_max, neighbor.known_boundary);
+}
+
+void AvailabilityIndex::remove_supplier(View& w, const PeerNode& neighbor) {
+  const util::DynamicBitset& presence = neighbor.buffer.presence();
+  for (std::size_t pos = presence.find_first(0); pos < presence.size();
+       pos = presence.find_first(pos + 1)) {
+    auto& count = w.supplier_count[pos];
+    GS_CHECK_GT(count, 0u);
+    if (--count == 0) w.supplied.reset(pos);
+  }
+}
+
+void AvailabilityIndex::recompute_head(View& w, const std::vector<PeerNode>& peers) {
+  w.head = kNoSegment;
+  for (const net::NodeId nb : w.alive_neighbors) {
+    w.head = std::max(w.head, peers[nb].buffer.max_id());
+  }
+}
+
+void AvailabilityIndex::recompute_boundary(View& w, const std::vector<PeerNode>& peers) {
+  w.boundary_max = -1;
+  for (const net::NodeId nb : w.alive_neighbors) {
+    w.boundary_max = std::max(w.boundary_max, peers[nb].known_boundary);
+  }
+}
+
+void AvailabilityIndex::add_peer(const net::Graph& graph, const std::vector<PeerNode>& peers,
+                                 net::NodeId v) {
+  if (views_.size() < peers.size()) views_.resize(peers.size());
+  build_view(graph, peers, v);
+  // Register the (empty-buffered, boundary-less) joiner with its
+  // neighbours: it affects only their alive lists today, and the gain/evict
+  // events keep it current from here on.
+  for (const net::NodeId nb : graph.neighbors(v)) {
+    View& w = views_[nb];
+    if (!w.built) continue;
+    w.alive_neighbors.insert(
+        std::lower_bound(w.alive_neighbors.begin(), w.alive_neighbors.end(), v), v);
+    ++updates_;
+  }
+}
+
+void AvailabilityIndex::remove_peer(const net::Graph& graph, const std::vector<PeerNode>& peers,
+                                    net::NodeId v) {
+  const PeerNode& leaver = peers[v];
+  for (const net::NodeId nb : graph.neighbors(v)) {
+    View& w = views_[nb];
+    if (!w.built) continue;
+    const auto it = std::lower_bound(w.alive_neighbors.begin(), w.alive_neighbors.end(), v);
+    GS_CHECK(it != w.alive_neighbors.end() && *it == v);
+    w.alive_neighbors.erase(it);
+    remove_supplier(w, leaver);
+    if (leaver.buffer.max_id() == w.head) recompute_head(w, peers);
+    if (leaver.known_boundary == w.boundary_max) recompute_boundary(w, peers);
+    ++updates_;
+  }
+  views_[v] = View{};
+}
+
+void AvailabilityIndex::connect(const std::vector<PeerNode>& peers, net::NodeId u,
+                                net::NodeId v) {
+  for (const auto& [self, other] : {std::pair{u, v}, std::pair{v, u}}) {
+    View& w = views_[self];
+    if (!w.built) continue;  // sources keep no view but still gain edges
+    if (!peers[other].alive) continue;
+    w.alive_neighbors.insert(
+        std::lower_bound(w.alive_neighbors.begin(), w.alive_neighbors.end(), other), other);
+    add_supplier(w, peers[other]);
+    ++updates_;
+  }
+}
+
+}  // namespace gs::stream

@@ -1,0 +1,103 @@
+// The availability plane: per-peer neighbour-availability views maintained
+// by deltas instead of per-tick rescans.
+//
+// The legacy hot path re-derives everything from scratch every scheduling
+// period: snapshot_and_learn walks a peer's neighbours for the boundary max,
+// then build_candidates walks them again — once for the head and once per
+// missing segment over the whole window, O(degree x buffer_capacity) per
+// peer per tick.  This index inverts the dataflow: every event that changes
+// what a neighbourhood can supply (a delivery, a FIFO eviction, a join, a
+// leave, a repair edge, a boundary learned) pushes a delta into the affected
+// peers' views, and the tick just reads them.
+//
+// Per peer the view keeps
+//   - the alive neighbour list in graph (sorted-id) order,
+//   - a per-segment supplier count plus the derived `supplied` bitset, so
+//     the candidate loop can jump straight to missing-and-supplied ids with
+//     DynamicBitset::first_set_and_clear,
+//   - the cached neighbour head (max buffer id any neighbour holds),
+//   - the cached boundary max (newest switch any neighbour knows of).
+//
+// The maintained views are exact mirrors of what the legacy rescan would
+// compute, which is what makes the engine's incremental_availability mode
+// bit-identical to the rescan mode (enforced by stream_determinism_test).
+// State is strictly per peer — no cross-view sharing — so the index shards
+// cleanly if peers are ever distributed across threads (see ROADMAP).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/graph.hpp"
+#include "stream/peer_node.hpp"
+#include "util/bitset.hpp"
+
+namespace gs::stream {
+
+class AvailabilityIndex {
+ public:
+  /// One peer's merged view of its neighbourhood.
+  struct View {
+    /// Views exist for live non-source peers only (sources never tick and
+    /// dead peers never come back; their ids are not reused).
+    bool built = false;
+    /// Alive neighbours in ascending id order — exactly the order and set
+    /// graph.neighbors() yields once dead peers are skipped.
+    std::vector<net::NodeId> alive_neighbors;
+    /// supplier_count[id] = alive neighbours currently holding `id`.
+    std::vector<std::uint16_t> supplier_count;
+    /// Bit `id` set iff supplier_count[id] > 0.
+    util::DynamicBitset supplied;
+    /// max over alive neighbours of buffer.max_id(); kNoSegment when none.
+    SegmentId head = kNoSegment;
+    /// max over alive neighbours of known_boundary; -1 when none.
+    int boundary_max = -1;
+  };
+
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+  /// Builds every live non-source peer's view from the current buffers and
+  /// enables event maintenance.  Call once, after setup/warm-start filled
+  /// the buffers and before the simulation loop delivers anything.
+  void build(const net::Graph& graph, const std::vector<PeerNode>& peers);
+
+  /// `owner`'s buffer gained `id` (delivery or local generation).
+  void on_gain(const net::Graph& graph, net::NodeId owner, SegmentId id);
+  /// `owner`'s buffer evicted `victim`.  Call after the eviction, so head
+  /// recomputation sees the post-eviction buffers.
+  void on_evict(const net::Graph& graph, const std::vector<PeerNode>& peers, net::NodeId owner,
+                SegmentId victim);
+  /// `owner` learned switch boundaries up to `boundary`.
+  void on_boundary(const net::Graph& graph, net::NodeId owner, int boundary);
+
+  /// A fresh joiner `v`, already wired into the graph and present in
+  /// `peers`: builds its view and registers it with its neighbours.
+  void add_peer(const net::Graph& graph, const std::vector<PeerNode>& peers, net::NodeId v);
+  /// `v` is leaving: unregisters it from every neighbour's view and drops
+  /// its own.  Call while the graph still has v's edges (before the
+  /// membership protocol isolates it).
+  void remove_peer(const net::Graph& graph, const std::vector<PeerNode>& peers, net::NodeId v);
+  /// A repair edge appeared between existing peers `u` and `v` (either side
+  /// may be a source, whose own view stays unbuilt).
+  void connect(const std::vector<PeerNode>& peers, net::NodeId u, net::NodeId v);
+
+  [[nodiscard]] const View& view(net::NodeId v) const;
+
+  /// Delta events applied since build() (diagnostics).
+  [[nodiscard]] std::uint64_t updates_applied() const noexcept { return updates_; }
+
+ private:
+  void build_view(const net::Graph& graph, const std::vector<PeerNode>& peers, net::NodeId v);
+  /// Grows the per-segment arrays of `w` to cover `id`.
+  static void ensure_capacity(View& w, SegmentId id);
+  static void add_supplier(View& w, const PeerNode& neighbor);
+  static void remove_supplier(View& w, const PeerNode& neighbor);
+  static void recompute_head(View& w, const std::vector<PeerNode>& peers);
+  static void recompute_boundary(View& w, const std::vector<PeerNode>& peers);
+
+  bool enabled_ = false;
+  std::vector<View> views_;
+  std::uint64_t updates_ = 0;
+};
+
+}  // namespace gs::stream

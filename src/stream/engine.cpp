@@ -27,8 +27,19 @@ Engine::Engine(net::Graph graph, net::LatencyModel latency, EngineConfig config,
       setup_rng_(util::Rng(config_.seed).fork(util::hash_name("setup"))) {
   GS_CHECK(strategy_ != nullptr);
   GS_CHECK_EQ(latency_.node_count(), graph_.node_count());
+  GS_CHECK(!config_.delta_maps || config_.incremental_availability)
+      << "delta_maps requires incremental_availability";
   // Warm-up traffic is outside the paper's measurement window.
   overhead_.set_enabled(false);
+  // Degree-repair edges appear between existing peers deep inside
+  // MembershipProtocol::leave; the availability views track them from here.
+  // Join wiring also fires, before the joiner's PeerNode exists — those
+  // edges are picked up wholesale by add_peer in handle_join.
+  membership_.set_on_edge_added([this](net::NodeId u, net::NodeId v) {
+    if (!availability_.enabled()) return;
+    if (u >= peers_.size() || v >= peers_.size()) return;
+    availability_.connect(peers_, u, v);
+  });
 }
 
 void Engine::set_sources(std::vector<net::NodeId> sources, std::vector<double> switch_times) {
@@ -89,7 +100,7 @@ void Engine::schedule_switch(int switch_index) {
     // stops; §3's synchronisation assumption).
     PeerNode& next_source =
         peers_[timeline_.session(static_cast<std::size_t>(switch_index) + 1).source];
-    next_source.known_boundary = std::max(next_source.known_boundary, switch_index);
+    learn_boundaries(next_source, switch_index, now);
 
     start_session(switch_index + 1);
   });
@@ -132,13 +143,7 @@ void Engine::tick(PeerNode& p, double now) {
   }
 
   candidates_seen_ += candidates.size();
-  // Index by id for supplier fallback on rejection (the strategy names one
-  // supplier per segment; a saturated supplier should not cost the whole
-  // period when an alternate neighbour also holds the segment).
-  std::unordered_map<SegmentId, const CandidateSegment*> by_id;
-  by_id.reserve(candidates.size());
   const std::vector<ScheduledRequest> requests = p.strategy->schedule(ctx, candidates);
-  for (const CandidateSegment& c : candidates) by_id.emplace(c.id, &c);
   scheduled_seen_ += requests.size();
   if (split_active) {
     for (const ScheduledRequest& r : requests) {
@@ -149,9 +154,18 @@ void Engine::tick(PeerNode& p, double now) {
       }
     }
   }
+  // Supplier fallback on rejection (the strategy names one supplier per
+  // segment; a saturated supplier should not cost the whole period when an
+  // alternate neighbour also holds the segment).  The id index is built
+  // lazily: most ticks see no rejection at all.
+  std::unordered_map<SegmentId, const CandidateSegment*> by_id;
   for (const ScheduledRequest& r : requests) {
     if (p.in_budget.whole() == 0) break;
     if (issue_one(p, r.id, r.supplier, now)) continue;
+    if (by_id.empty()) {
+      by_id.reserve(candidates.size());
+      for (const CandidateSegment& c : candidates) by_id.emplace(c.id, &c);
+    }
     const auto it = by_id.find(r.id);
     if (it == by_id.end()) continue;
     for (const SupplierView& alt : it->second->suppliers) {
@@ -162,26 +176,77 @@ void Engine::tick(PeerNode& p, double now) {
 }
 
 void Engine::snapshot_and_learn(PeerNode& p) {
+  if (availability_.enabled()) {
+    // The maintained view already holds everything the legacy rescan would
+    // re-derive; the tick just reads it (and pays the wire cost).
+    const AvailabilityIndex::View& view = availability_.view(p.id);
+    if (config_.delta_maps) {
+      advert_availability(p, view.alive_neighbors.size());
+    } else {
+      overhead_.charge_buffer_map_exchanges(view.alive_neighbors.size());
+    }
+    if (config_.discover_via_maps && view.boundary_max > p.known_boundary) {
+      learn_boundaries(p, view.boundary_max, sim_.now());
+    }
+    return;
+  }
+  // Legacy: one shared pass over the neighbours serves the exchange
+  // accounting, boundary discovery AND build_candidates (alive list + head
+  // stashed in the scan_* scratch — nothing between here and the candidate
+  // build can change neighbour state within the tick).
+  scan_alive_.clear();
+  scan_head_ = kNoSegment;
+  scan_peer_ = p.id;
   int best_boundary = p.known_boundary;
   for (const net::NodeId nb : graph_.neighbors(p.id)) {
     const PeerNode& n = peers_[nb];
     if (!n.alive) continue;
     overhead_.charge_buffer_map_exchange();
+    scan_alive_.push_back(nb);
+    scan_head_ = std::max(scan_head_, n.buffer.max_id());
     if (config_.discover_via_maps) best_boundary = std::max(best_boundary, n.known_boundary);
   }
   if (best_boundary > p.known_boundary) learn_boundaries(p, best_boundary, sim_.now());
+}
+
+void Engine::advert_availability(PeerNode& p, std::size_t receivers) {
+  const std::size_t window = config_.wire.buffer_window_bits;
+  gossip::BufferMap current = p.buffer.build_map(window);
+  // Full map on the first advert and every map_refresh_period-th one
+  // (receivers resynchronise), or when the delta would not pay for itself.
+  bool refresh = p.advertised_map.window() != window ||
+                 p.adverts_since_refresh + 1 >= config_.map_refresh_period;
+  gossip::BufferMapDelta delta;
+  if (!refresh) {
+    delta = gossip::BufferMapDelta::diff(p.advertised_map, current);
+    // Judge "delta beats full map" in the same wire model that gets
+    // charged, so ablated delta framing sizes keep the rule honest.
+    refresh = !delta.encodable() ||
+              config_.wire.buffer_map_delta_bits(delta.runs().size()) >=
+                  config_.wire.buffer_map_bits();
+  }
+  if (refresh) {
+    overhead_.charge_buffer_map_exchanges(receivers);
+    p.adverts_since_refresh = 0;
+    ++stats_.full_map_adverts;
+  } else {
+    overhead_.charge_buffer_map_delta(delta.runs().size(), receivers);
+    ++p.adverts_since_refresh;
+    ++stats_.delta_adverts;
+  }
+  p.advertised_map = std::move(current);
 }
 
 std::vector<CandidateSegment> Engine::build_candidates(PeerNode& p, double now) {
   std::vector<CandidateSegment> out;
   const SegmentId from = p.playback.started() ? p.playback.cursor() : p.start_id;
 
-  SegmentId head = kNoSegment;
-  const auto neighbors = graph_.neighbors(p.id);
-  for (const net::NodeId nb : neighbors) {
-    const PeerNode& n = peers_[nb];
-    if (n.alive) head = std::max(head, n.buffer.max_id());
+  const bool incremental = availability_.enabled();
+  if (!incremental) {
+    GS_CHECK_EQ(scan_peer_, p.id);  // the scan scratch is this tick's
   }
+  const AvailabilityIndex::View* view = incremental ? &availability_.view(p.id) : nullptr;
+  const SegmentId head = incremental ? view->head : scan_head_;
   if (head == kNoSegment || head < from) return out;
   const SegmentId to =
       std::min<SegmentId>(head, from + static_cast<SegmentId>(config_.buffer_capacity) - 1);
@@ -192,16 +257,30 @@ std::vector<CandidateSegment> Engine::build_candidates(PeerNode& p, double now) 
       split_active ? timeline_.session(static_cast<std::size_t>(p.active_switch)).last
                    : kNoSegment;
 
-  for (SegmentId id = next_missing(p.received, from); id <= to;
-       id = next_missing(p.received, id + 1)) {
+  // Legacy iterates every missing id and discovers per id that nobody
+  // supplies it; the index jumps straight to missing-and-supplied ids
+  // (word-level intersection), which yields the identical candidate list —
+  // unsupplied ids produce no CandidateSegment either way.
+  const std::vector<net::NodeId>& alive_neighbors =
+      incremental ? view->alive_neighbors : scan_alive_;
+  const auto next_candidate = [&](SegmentId at) -> SegmentId {
+    if (!incremental) return next_missing(p.received, at);
+    const std::size_t pos = util::DynamicBitset::first_set_and_clear(
+        view->supplied, p.received, static_cast<std::size_t>(at));
+    if (pos >= view->supplied.size()) return to + 1;  // nothing supplied past `at`
+    return static_cast<SegmentId>(pos);
+  };
+
+  for (SegmentId id = next_candidate(from); id <= to; id = next_candidate(id + 1)) {
     const auto pending_it = p.pending.find(id);
     if (pending_it != p.pending.end() && pending_it->second > now) continue;
     CandidateSegment c;
     c.id = id;
     c.epoch = (boundary != kNoSegment && id > boundary) ? StreamEpoch::kNew : StreamEpoch::kOld;
-    for (const net::NodeId nb : neighbors) {
+    stats_.availability_probes += alive_neighbors.size();
+    for (const net::NodeId nb : alive_neighbors) {
       const PeerNode& n = peers_[nb];
-      if (!n.alive || !n.buffer.contains(id)) continue;
+      if (!n.buffer.contains(id)) continue;
       SupplierView s;
       s.node = nb;
       s.send_rate = n.outbound_rate;
@@ -244,10 +323,16 @@ void Engine::on_delivery(net::NodeId to, SegmentId id) {
 }
 
 void Engine::deliver_segment(PeerNode& p, SegmentId id, double now, bool count_wire) {
-  if (!p.mark_received(id)) {
+  SegmentId evicted = kNoSegment;
+  if (!p.mark_received(id, &evicted)) {
     ++p.duplicates_received;
     ++stats_.duplicates;
     return;
+  }
+  if (availability_.enabled()) {
+    // Publish the buffer change to the neighbourhood's availability views.
+    availability_.on_gain(graph_, p.id, id);
+    if (evicted != kNoSegment) availability_.on_evict(graph_, peers_, p.id, evicted);
   }
   if (count_wire) {
     overhead_.charge_data_segment();
@@ -298,6 +383,7 @@ void Engine::push_to_neighbors(PeerNode& p, SegmentId id, double now) {
 void Engine::learn_boundaries(PeerNode& p, int up_to, double now) {
   if (up_to <= p.known_boundary) return;
   p.known_boundary = up_to;
+  if (availability_.enabled()) availability_.on_boundary(graph_, p.id, up_to);
   if (p.is_source) return;
   if (p.active_switch >= 0 && up_to >= p.active_switch && !p.gate_armed &&
       p.playback.gate() == kNoSegment) {

@@ -26,6 +26,7 @@
 #include "net/latency.hpp"
 #include "sim/periodic.hpp"
 #include "sim/simulator.hpp"
+#include "stream/availability_index.hpp"
 #include "stream/bandwidth.hpp"
 #include "stream/metrics.hpp"
 #include "stream/peer_node.hpp"
@@ -115,6 +116,25 @@ struct EngineConfig {
   /// phase and, under batch_dispatch, one sweep event.  Shared by both
   /// dispatch modes so they produce the same schedule; must be >= 1.
   std::size_t tick_shard_size = 16;
+  /// Incremental availability plane: maintain each peer's merged view of
+  /// neighbour availability (per-segment supplier counts, cached head,
+  /// cached boundary max) by deltas pushed from deliveries, evictions,
+  /// churn and boundary learning, instead of rescanning every neighbour's
+  /// buffer each tick.  Pure mechanism like batch_dispatch: fixed-seed
+  /// metrics are bit-identical with the flag on or off (enforced by
+  /// stream_determinism_test); only the scan work changes (see
+  /// EngineStats::availability_probes and bench BM_BuildCandidates).
+  bool incremental_availability = false;
+  /// Charge availability gossip as BufferMapDelta exchanges (changed-bit
+  /// runs + base shift) instead of full 620-bit maps, with a full-map
+  /// refresh every map_refresh_period adverts and whenever the delta would
+  /// not beat the full map.  Accounting-model change: the overhead-ratio
+  /// metric drops by design; everything else stays bit-identical.
+  /// Requires incremental_availability.
+  bool delta_maps = false;
+  /// Adverts between full-map refreshes under delta_maps (>= 1; 1 sends
+  /// full maps every period, i.e. the paper's accounting).
+  std::size_t map_refresh_period = 10;
   /// GridMedia-style extension: relay freshly received segments to random
   /// neighbours without a request (costs data bits; adds redundancy).
   bool push_fresh_segments = false;
@@ -154,6 +174,15 @@ struct EngineStats {
   /// Simulator events popped over the whole run (dispatch-cost diagnostic:
   /// batch_dispatch lowers this without changing any other stat).
   std::uint64_t events_popped = 0;
+  /// Supplier-membership probes during candidate build — one per (visited
+  /// segment, neighbour) pair.  The candidate-scan cost diagnostic:
+  /// incremental_availability lowers it without changing any paper metric.
+  std::uint64_t availability_probes = 0;
+  /// Availability-index delta events applied (incremental mode only).
+  std::uint64_t index_updates = 0;
+  /// Full-map / delta adverts sent under delta_maps accounting.
+  std::uint64_t full_map_adverts = 0;
+  std::uint64_t delta_adverts = 0;
 };
 
 class Engine {
@@ -224,7 +253,14 @@ class Engine {
 
   // --- per-tick pipeline ---
   void tick(PeerNode& p, double now);
+  /// Availability exchange bookkeeping + boundary discovery.  Legacy mode
+  /// walks the neighbours once, stashing the alive list and head into
+  /// scan_alive_ / scan_head_ for build_candidates (one shared pass);
+  /// incremental mode reads the maintained view instead.
   void snapshot_and_learn(PeerNode& p);
+  /// Charges one availability advert from `p` to its `receivers` alive
+  /// neighbours under delta_maps accounting (delta or periodic full map).
+  void advert_availability(PeerNode& p, std::size_t receivers);
   [[nodiscard]] std::vector<CandidateSegment> build_candidates(PeerNode& p, double now);
   bool issue_one(PeerNode& p, SegmentId id, net::NodeId supplier, double now);
 
@@ -258,8 +294,19 @@ class Engine {
   SegmentRegistry registry_;
   TransferPlane transfers_;
   SwitchTimeline timeline_;
+  /// Incremental per-peer neighbour-availability views
+  /// (config_.incremental_availability; disabled and empty otherwise).
+  AvailabilityIndex availability_;
 
   std::vector<PeerNode> peers_;
+
+  /// Legacy-mode per-tick scratch: the one shared neighbour pass of
+  /// snapshot_and_learn leaves the alive neighbours (graph order) and their
+  /// max held id here for build_candidates, which asserts the owner
+  /// matches (the scratch is only valid within one peer's tick).
+  std::vector<net::NodeId> scan_alive_;
+  SegmentId scan_head_ = kNoSegment;
+  net::NodeId scan_peer_ = 0;
 
   std::vector<DebugPoint> debug_series_;
   std::unique_ptr<sim::PeriodicTask> debug_task_;

@@ -125,6 +125,9 @@ void Engine::handle_leave(net::NodeId v) {
     ticker_->remove_member(p.tick_group, p.id);
     p.tick_group = kNoTickGroup;
   }
+  // Unregister from the neighbourhood views while the graph still has v's
+  // edges; the repair edges membership adds below re-enter via connect().
+  if (availability_.enabled()) availability_.remove_peer(graph_, peers_, v);
   membership_.leave(v);
   ++stats_.leaves;
   if (p.tracked && p.active_switch >= 0) {
@@ -173,6 +176,7 @@ net::NodeId Engine::handle_join() {
       p.start_id <= timeline_.session(static_cast<std::size_t>(current)).last) {
     timeline_.init_switch_counters(p, current, sim_.now(), config_.q_startup);
   }
+  if (availability_.enabled()) availability_.add_peer(graph_, peers_, v);
   start_peer_tick(p, /*initial=*/false);
   return v;
 }
@@ -278,6 +282,9 @@ std::vector<SwitchMetrics> Engine::run() {
   GS_CHECK(peers_.empty()) << "run() may only be called once";
   init_peers();
   if (config_.warm_start) warm_start_state();
+  // Build the availability views from the settled (possibly warm-started)
+  // buffers; every later change flows in as a delta event.
+  if (config_.incremental_availability) availability_.build(graph_, peers_);
   start_session(0);
   for (std::size_t i = 0; i < timeline_.switch_count(); ++i) {
     schedule_switch(static_cast<int>(i));
@@ -298,6 +305,7 @@ std::vector<SwitchMetrics> Engine::run() {
       (timeline_.switch_count() == 0 ? 0.0 : timeline_.switch_times().back()) +
       config_.horizon;
   stats_.events_popped = sim_.run_until(stop_at);
+  stats_.index_updates = availability_.updates_applied();
 
   // Censor peers that never completed within the horizon, then compute the
   // per-switch overhead ratios from the snapshot deltas.

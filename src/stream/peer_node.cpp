@@ -13,14 +13,16 @@ SegmentId next_missing(const util::DynamicBitset& bits, SegmentId from) {
   return static_cast<SegmentId>(pos);  // == bits.size() means "just past", still correct
 }
 
-bool PeerNode::mark_received(SegmentId id) {
+bool PeerNode::mark_received(SegmentId id, SegmentId* evicted) {
+  if (evicted != nullptr) *evicted = kNoSegment;
   if (static_cast<std::size_t>(id) >= received.size()) {
     received.resize(std::max<std::size_t>(static_cast<std::size_t>(id) + 1,
                                           received.size() * 2 + 64));
   }
   if (received.test(static_cast<std::size_t>(id))) return false;
   received.set(static_cast<std::size_t>(id));
-  buffer.insert(id);
+  const SegmentId victim = buffer.insert(id);
+  if (evicted != nullptr) *evicted = victim;
   return true;
 }
 

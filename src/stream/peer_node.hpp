@@ -77,14 +77,22 @@ struct PeerNode {
   /// (kNoTickGroup when per-peer dispatch is active or the peer left).
   std::size_t tick_group = kNoTickGroup;
 
+  /// Delta availability gossip (EngineConfig::delta_maps): the last full
+  /// map this peer advertised — the receivers' reconstruction baseline —
+  /// and the adverts sent since the last full-map refresh.
+  gossip::BufferMap advertised_map;
+  std::uint32_t adverts_since_refresh = 0;
+
   // Diagnostics.
   std::uint64_t requests_issued = 0;
   std::uint64_t requests_rejected = 0;
   std::uint64_t duplicates_received = 0;
 
   /// Marks `id` received (growing the bitset as needed) and inserts it into
-  /// the stream buffer.  Returns false when it was already received.
-  bool mark_received(SegmentId id);
+  /// the stream buffer.  Returns false when it was already received.  When
+  /// the insert evicts a segment, its id is reported through `evicted`
+  /// (kNoSegment otherwise) so availability views can track the loss.
+  bool mark_received(SegmentId id, SegmentId* evicted = nullptr);
 
   /// True when `id` is a valid, already-received segment id.
   [[nodiscard]] bool has_received(SegmentId id) const noexcept;

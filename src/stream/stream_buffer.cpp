@@ -68,11 +68,10 @@ gossip::BufferMap StreamBuffer::build_map(std::size_t window_bits) const {
   if (max_id_ == kNoSegment) return gossip::BufferMap(0, window_bits);
   const SegmentId base =
       std::max<SegmentId>(0, max_id_ - static_cast<SegmentId>(window_bits) + 1);
-  gossip::BufferMap map(base, window_bits);
-  for (SegmentId id = base; id <= max_id_; ++id) {
-    if (contains(id)) map.mark(id);
-  }
-  return map;
+  // Word-at-a-time copy out of the presence bitset: build_map runs once per
+  // peer per advert under delta accounting, so the per-slot contains() loop
+  // it replaced was a real per-tick cost.
+  return gossip::BufferMap::from_presence(base, window_bits, presence_);
 }
 
 }  // namespace gs::stream

@@ -74,6 +74,47 @@ std::size_t DynamicBitset::find_first_clear(std::size_t from) const noexcept {
   }
 }
 
+std::size_t DynamicBitset::first_set_and_clear(const DynamicBitset& set_in,
+                                               const DynamicBitset& clear_in,
+                                               std::size_t from) noexcept {
+  if (from >= set_in.bits_) return set_in.bits_;
+  std::size_t word = from / kWordBits;
+  const auto combined = [&](std::size_t w) {
+    const std::uint64_t a = set_in.words_[w];
+    const std::uint64_t b = w < clear_in.words_.size() ? clear_in.words_[w] : 0;
+    return a & ~b;
+  };
+  std::uint64_t current = combined(word) & (~0ULL << (from % kWordBits));
+  for (;;) {
+    if (current != 0) {
+      const auto pos = word * kWordBits + static_cast<std::size_t>(std::countr_zero(current));
+      return pos < set_in.bits_ ? pos : set_in.bits_;
+    }
+    if (++word >= set_in.word_count()) return set_in.bits_;
+    current = combined(word);
+  }
+}
+
+std::uint64_t DynamicBitset::extract_word(std::size_t from) const noexcept {
+  if (from >= bits_) return 0;
+  const std::size_t word = from / kWordBits;
+  const std::size_t shift = from % kWordBits;
+  // trim() keeps bits past size() clear, so no tail masking is needed.
+  std::uint64_t out = words_[word] >> shift;
+  if (shift != 0 && word + 1 < words_.size()) out |= words_[word + 1] << (kWordBits - shift);
+  return out;
+}
+
+DynamicBitset DynamicBitset::copy_window(const DynamicBitset& src, std::size_t from,
+                                         std::size_t bits) {
+  DynamicBitset out(bits);
+  for (std::size_t i = 0; i < out.words_.size(); ++i) {
+    out.words_[i] = src.extract_word(from + i * kWordBits);
+  }
+  out.trim();
+  return out;
+}
+
 DynamicBitset& DynamicBitset::operator&=(const DynamicBitset& other) {
   GS_CHECK_EQ(bits_, other.bits_);
   for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];

@@ -35,6 +35,24 @@ class DynamicBitset {
   /// Index of the first clear bit at or after `from`; size() when none.
   [[nodiscard]] std::size_t find_first_clear(std::size_t from = 0) const noexcept;
 
+  /// First position >= `from` that is set in `set_in` and clear in
+  /// `clear_in`; set_in.size() when none.  Sizes may differ: positions past
+  /// either bitset's size read as clear.  Word-at-a-time, so callers can
+  /// intersect (e.g. "supplied and not yet received") without materializing
+  /// a combined bitset.
+  [[nodiscard]] static std::size_t first_set_and_clear(const DynamicBitset& set_in,
+                                                       const DynamicBitset& clear_in,
+                                                       std::size_t from) noexcept;
+
+  /// 64 bits starting at `from` (unaligned); positions past size() read 0.
+  /// Lets callers diff/scan windows word-at-a-time at arbitrary offsets.
+  [[nodiscard]] std::uint64_t extract_word(std::size_t from) const noexcept;
+
+  /// A new `bits`-bit bitset holding src[from, from + bits); positions past
+  /// src's size read 0.  Word-at-a-time window extraction.
+  [[nodiscard]] static DynamicBitset copy_window(const DynamicBitset& src, std::size_t from,
+                                                 std::size_t bits);
+
   DynamicBitset& operator&=(const DynamicBitset& other);
   DynamicBitset& operator|=(const DynamicBitset& other);
 

@@ -1,0 +1,142 @@
+// BufferMapDelta: the incremental availability exchange.  Covers the
+// encode/decode round-trip, diff/apply semantics under base shifts in both
+// directions, the run-splitting caps, and a property test driving a
+// StreamBuffer through random mark/evict/base-shift sequences and checking
+// that the delta-reconstructed view always equals the full map.
+#include <gtest/gtest.h>
+
+#include "gossip/buffer_map.hpp"
+#include "gossip/buffer_map_delta.hpp"
+#include "gossip/message.hpp"
+#include "stream/stream_buffer.hpp"
+#include "util/rng.hpp"
+
+namespace gs::gossip {
+namespace {
+
+BufferMap make_map(SegmentId base, std::size_t window, std::initializer_list<SegmentId> ids) {
+  BufferMap map(base, window);
+  for (const SegmentId id : ids) map.mark(id);
+  return map;
+}
+
+TEST(BufferMapDelta, EmptyDiffHasNoRuns) {
+  const BufferMap map = make_map(100, 64, {100, 101, 140});
+  const BufferMapDelta delta = BufferMapDelta::diff(map, map);
+  EXPECT_TRUE(delta.runs().empty());
+  EXPECT_EQ(delta.base(), map.base());
+  EXPECT_EQ(delta.wire_bits(), BufferMapDelta::kHeaderBits);
+  EXPECT_EQ(delta.apply(map), map);
+}
+
+TEST(BufferMapDelta, TogglesAreRunCompressed) {
+  const BufferMap from = make_map(0, 64, {0, 1, 2});
+  // One contiguous gained run [10, 13] and one lost run [1, 2].
+  const BufferMap to = make_map(0, 64, {0, 10, 11, 12, 13});
+  const BufferMapDelta delta = BufferMapDelta::diff(from, to);
+  ASSERT_EQ(delta.runs().size(), 2u);
+  EXPECT_EQ(delta.runs()[0].offset, 1u);
+  EXPECT_EQ(delta.runs()[0].length, 2u);
+  EXPECT_EQ(delta.runs()[1].offset, 10u);
+  EXPECT_EQ(delta.runs()[1].length, 4u);
+  EXPECT_EQ(delta.toggled_count(), 6u);
+  EXPECT_EQ(delta.apply(from), to);
+}
+
+TEST(BufferMapDelta, ForwardBaseShiftDropsEvictionsForFree) {
+  // FIFO steady state: window slides forward, the old tail falls out.
+  const BufferMap from = make_map(100, 32, {100, 101, 130, 131});
+  const BufferMap to = make_map(110, 32, {130, 131, 140, 141});
+  const BufferMapDelta delta = BufferMapDelta::diff(from, to);
+  EXPECT_EQ(delta.base(), 110);
+  // 100/101 dropped by the shift alone; only the gains 140/141 need a run.
+  ASSERT_EQ(delta.runs().size(), 1u);
+  EXPECT_EQ(delta.runs()[0].offset, 30u);
+  EXPECT_EQ(delta.runs()[0].length, 2u);
+  EXPECT_EQ(delta.apply(from), to);
+}
+
+TEST(BufferMapDelta, BackwardBaseShiftReconstructs) {
+  // Rare evicted-max case: the newest id leaves and the window slides back.
+  const BufferMap from = make_map(50, 16, {50, 64, 65});
+  const BufferMap to = make_map(45, 16, {50, 55});
+  const BufferMapDelta delta = BufferMapDelta::diff(from, to);
+  EXPECT_EQ(delta.apply(from), to);
+}
+
+TEST(BufferMapDelta, LongRunsSplitAtWireCap) {
+  const std::size_t window = 600;
+  BufferMap from(0, window);
+  BufferMap to(0, window);
+  for (SegmentId id = 0; id < 200; ++id) to.mark(id);
+  const BufferMapDelta delta = BufferMapDelta::diff(from, to);
+  for (const auto& run : delta.runs()) {
+    EXPECT_GE(run.length, 1u);
+    EXPECT_LE(run.length, BufferMapDelta::kMaxRunLength);
+  }
+  EXPECT_EQ(delta.toggled_count(), 200u);
+  EXPECT_EQ(delta.apply(from), to);
+  EXPECT_TRUE(delta.encodable());
+}
+
+TEST(BufferMapDelta, EncodeDecodeRoundTrip) {
+  const BufferMap from = make_map(123456, 600, {123456, 123500, 123501});
+  const BufferMap to = make_map(123466, 600, {123500, 123501, 124000, 124060});
+  const BufferMapDelta delta = BufferMapDelta::diff(from, to);
+  const std::vector<std::uint8_t> bytes = delta.encode();
+  EXPECT_EQ(bytes.size(), 4u + 2u * delta.runs().size());
+  const BufferMapDelta decoded = BufferMapDelta::decode(bytes, 600, 123400);
+  EXPECT_EQ(decoded, delta);
+  EXPECT_EQ(decoded.apply(from), to);
+}
+
+TEST(BufferMapDelta, WireBitsMatchTheAccountingModel) {
+  const WireFormat wire = paper_wire_format();
+  const BufferMap from = make_map(0, 600, {});
+  const BufferMap to = make_map(0, 600, {3, 4, 5, 90});
+  const BufferMapDelta delta = BufferMapDelta::diff(from, to);
+  ASSERT_EQ(delta.runs().size(), 2u);
+  EXPECT_EQ(delta.wire_bits(), wire.buffer_map_delta_bits(2));
+  EXPECT_LT(delta.wire_bits(), wire.buffer_map_bits());
+}
+
+// The property the engine's delta accounting stands on: however the buffer
+// evolves between adverts — in-order streaming, random old-hole fills, the
+// FIFO evictions they trigger, head jumps that shift the window either way —
+// diff/apply reconstructs the next full map exactly, and the delta always
+// round-trips the wire.
+TEST(BufferMapDelta, PropertyRandomBufferEvolutionReconstructs) {
+  util::Rng rng(2024);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t window = 64 + static_cast<std::size_t>(rng.uniform_int(0, 192));
+    stream::StreamBuffer buffer(window / 2);  // capacity < window forces evictions
+    SegmentId head = static_cast<SegmentId>(rng.uniform_int(0, 5000));
+    BufferMap advertised = buffer.build_map(window);
+    for (int step = 0; step < 40; ++step) {
+      // A burst of inserts: mostly advancing the head, sometimes filling
+      // random holes behind it (which is what makes runs fragment).
+      const int inserts = static_cast<int>(rng.uniform_int(1, 25));
+      for (int i = 0; i < inserts; ++i) {
+        if (rng.bernoulli(0.7)) {
+          buffer.insert(head++);
+        } else {
+          const SegmentId lo = std::max<SegmentId>(0, head - static_cast<SegmentId>(window));
+          buffer.insert(lo + rng.uniform_int(0, std::max<std::int64_t>(1, head - lo)));
+        }
+      }
+      const BufferMap current = buffer.build_map(window);
+      const BufferMapDelta delta = BufferMapDelta::diff(advertised, current);
+      ASSERT_EQ(delta.apply(advertised), current)
+          << "trial " << trial << " step " << step << " head " << head;
+      if (delta.encodable()) {
+        const BufferMapDelta decoded =
+            BufferMapDelta::decode(delta.encode(), window, advertised.base());
+        ASSERT_EQ(decoded, delta);
+      }
+      advertised = current;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gs::gossip

@@ -30,6 +30,8 @@ struct RunSpec {
   bool per_link = false;
   bool batch = false;
   bool stagger = true;
+  bool incremental = false;
+  bool delta_maps = false;
   std::vector<net::NodeId> sources = {0, 1};
   std::vector<double> switch_times = {0.0};
 };
@@ -51,6 +53,8 @@ RunOutput run_setup(const RunSpec& setup) {
   if (setup.per_link) config.supplier_capacity = SupplierCapacityModel::kPerLink;
   config.batch_dispatch = setup.batch;
   config.stagger_ticks = setup.stagger;
+  config.incremental_availability = setup.incremental;
+  config.delta_maps = setup.delta_maps;
 
   std::shared_ptr<SchedulerStrategy> strategy;
   if (setup.fast) {
@@ -216,6 +220,135 @@ TEST(BatchDispatch, PopsFewerEventsThanPerPeerDispatch) {
   EXPECT_LT(batched.stats.events_popped, per_peer.stats.events_popped)
       << "batching should collapse per-peer tick events into shard sweeps";
   EXPECT_GT(batched.stats.events_popped, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// The incremental availability plane must be *observably invisible* exactly
+// like batch dispatch: delta-maintained views, cached neighbour heads and
+// cached boundary maxima have to reproduce every metric bit for bit against
+// the per-tick rescan, across algorithms, churn (joins, leaves and the
+// repair edges they trigger), the capacity models, multi-switch timelines
+// and both dispatch modes.  Only the scan-work diagnostics may change.
+
+RunOutput run_incremental(RunSpec setup) {
+  setup.incremental = true;
+  return run_setup(setup);
+}
+
+TEST(IncrementalAvailability, FastSwitchMatchesRescan) {
+  RunSpec setup;
+  expect_identical(run_setup(setup), run_incremental(setup));
+}
+
+TEST(IncrementalAvailability, NormalSwitchMatchesRescan) {
+  RunSpec setup;
+  setup.fast = false;
+  expect_identical(run_setup(setup), run_incremental(setup));
+}
+
+TEST(IncrementalAvailability, ChurnMatchesRescan) {
+  // Churn exercises every index maintenance path: leaves subtract supplier
+  // sets, repair adds edges between existing peers mid-run, joins register
+  // empty views that fill by deltas.
+  RunSpec setup;
+  setup.seed = 19;
+  setup.churn = true;
+  expect_identical(run_setup(setup), run_incremental(setup));
+}
+
+TEST(IncrementalAvailability, PerLinkCapacityMatchesRescan) {
+  RunSpec setup;
+  setup.seed = 27;
+  setup.per_link = true;
+  expect_identical(run_setup(setup), run_incremental(setup));
+}
+
+TEST(IncrementalAvailability, MultiSwitchMatchesRescan) {
+  RunSpec setup;
+  setup.seed = 23;
+  setup.sources = {0, 1, 2};
+  setup.switch_times = {0.0, 60.0};
+  expect_identical(run_setup(setup), run_incremental(setup));
+}
+
+TEST(IncrementalAvailability, LockstepChurnMatchesRescan) {
+  RunSpec setup;
+  setup.seed = 37;
+  setup.stagger = false;
+  setup.churn = true;
+  expect_identical(run_setup(setup), run_incremental(setup));
+}
+
+TEST(IncrementalAvailability, BatchDispatchComposes) {
+  // incremental x batch vs plain: the two mechanisms must stay independent.
+  RunSpec setup;
+  setup.seed = 43;
+  RunSpec both = setup;
+  both.batch = true;
+  expect_identical(run_setup(setup), run_incremental(both));
+}
+
+TEST(IncrementalAvailability, BatchChurnComposes) {
+  RunSpec setup;
+  setup.seed = 47;
+  setup.churn = true;
+  RunSpec both = setup;
+  both.batch = true;
+  expect_identical(run_setup(setup), run_incremental(both));
+}
+
+TEST(IncrementalAvailability, IncrementalChurnRunsReproduceThemselves) {
+  RunSpec setup;
+  setup.seed = 53;
+  setup.incremental = true;
+  setup.batch = true;
+  setup.churn = true;
+  expect_identical(run_setup(setup), run_setup(setup));
+}
+
+TEST(IncrementalAvailability, ProbesFewerThanRescan) {
+  RunSpec setup;
+  const RunOutput rescan = run_setup(setup);
+  const RunOutput indexed = run_incremental(setup);
+  EXPECT_LT(indexed.stats.availability_probes, rescan.stats.availability_probes)
+      << "the index should skip unsupplied segments the rescan visits";
+  EXPECT_GT(indexed.stats.availability_probes, 0u);
+  EXPECT_GT(indexed.stats.index_updates, 0u);
+  EXPECT_EQ(rescan.stats.index_updates, 0u);
+}
+
+// Delta accounting changes the *wire model*, not the dynamics: every metric
+// except the overhead ratios must match the full-map incremental run, and
+// the ratios must drop (that is the point of sending deltas).
+
+TEST(IncrementalAvailability, DeltaMapsOnlyLowerTheOverheadRatio) {
+  RunSpec setup;
+  setup.seed = 59;
+  setup.incremental = true;
+  RunSpec delta = setup;
+  delta.delta_maps = true;
+  const RunOutput full = run_setup(setup);
+  const RunOutput with_delta = run_setup(delta);
+  ASSERT_EQ(full.metrics.size(), with_delta.metrics.size());
+  for (std::size_t k = 0; k < full.metrics.size(); ++k) {
+    EXPECT_EQ(full.metrics[k].finish_times, with_delta.metrics[k].finish_times);
+    EXPECT_EQ(full.metrics[k].prepared_times, with_delta.metrics[k].prepared_times);
+    EXPECT_EQ(full.metrics[k].data_segments, with_delta.metrics[k].data_segments);
+    EXPECT_LT(with_delta.metrics[k].overhead_ratio, full.metrics[k].overhead_ratio);
+  }
+  EXPECT_EQ(full.stats.segments_delivered, with_delta.stats.segments_delivered);
+  EXPECT_EQ(full.stats.requests_issued, with_delta.stats.requests_issued);
+  EXPECT_GT(with_delta.stats.delta_adverts, 0u);
+  EXPECT_GT(with_delta.stats.full_map_adverts, 0u);
+}
+
+TEST(IncrementalAvailability, DeltaMapsChurnRunsReproduceThemselves) {
+  RunSpec setup;
+  setup.seed = 61;
+  setup.incremental = true;
+  setup.delta_maps = true;
+  setup.churn = true;
+  expect_identical(run_setup(setup), run_setup(setup));
 }
 
 TEST(Determinism, DifferentSeedsProduceDifferentRuns) {

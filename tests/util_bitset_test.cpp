@@ -128,6 +128,51 @@ TEST(DynamicBitset, BytesRoundTrip) {
   }
 }
 
+TEST(DynamicBitset, FirstSetAndClearIntersects) {
+  // The candidate-loop kernel: first position set in `a`, clear in `b`.
+  DynamicBitset a(200);
+  DynamicBitset b(130);  // deliberately shorter: positions past b read clear
+  a.set(3);
+  a.set(64);
+  a.set(129);
+  a.set(150);
+  b.set(3);
+  b.set(129);
+  EXPECT_EQ(DynamicBitset::first_set_and_clear(a, b, 0), 64u);
+  EXPECT_EQ(DynamicBitset::first_set_and_clear(a, b, 65), 150u);
+  EXPECT_EQ(DynamicBitset::first_set_and_clear(a, b, 151), 200u);
+  EXPECT_EQ(DynamicBitset::first_set_and_clear(a, b, 500), 200u);
+  b.reset(3);
+  EXPECT_EQ(DynamicBitset::first_set_and_clear(a, b, 0), 3u);
+}
+
+TEST(DynamicBitset, FirstSetAndClearMatchesNaiveScan) {
+  Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t a_bits = 1 + static_cast<std::size_t>(rng.uniform_int(0, 300));
+    const std::size_t b_bits = 1 + static_cast<std::size_t>(rng.uniform_int(0, 300));
+    DynamicBitset a(a_bits);
+    DynamicBitset b(b_bits);
+    for (std::size_t i = 0; i < a_bits; ++i) {
+      if (rng.bernoulli(0.4)) a.set(i);
+    }
+    for (std::size_t i = 0; i < b_bits; ++i) {
+      if (rng.bernoulli(0.6)) b.set(i);
+    }
+    for (std::size_t from = 0; from <= a_bits; ++from) {
+      std::size_t expected = a_bits;
+      for (std::size_t pos = from; pos < a_bits; ++pos) {
+        if (a.test(pos) && !(pos < b_bits && b.test(pos))) {
+          expected = pos;
+          break;
+        }
+      }
+      ASSERT_EQ(DynamicBitset::first_set_and_clear(a, b, from), expected)
+          << "trial " << trial << " from " << from;
+    }
+  }
+}
+
 TEST(DynamicBitset, PaperBufferMapWidth) {
   // The paper's 600-slot availability window packs into 75 bytes.
   DynamicBitset b(600);
