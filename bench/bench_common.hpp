@@ -24,6 +24,8 @@ struct BenchOptions {
   bool batch_dispatch = false;
   bool incremental_availability = false;
   bool delta_maps = false;
+  std::size_t parallel_shards = 0;
+  std::string capacity_model = "shared-fifo";
 
   /// Applies the engine-level options to a run configuration.  Every bench
   /// calls this on its base Config so flags like --batch-dispatch work
@@ -31,6 +33,8 @@ struct BenchOptions {
   void apply_engine(exp::Config& config) const {
     config.enable_batch_dispatch(batch_dispatch);
     config.enable_incremental_availability(incremental_availability || delta_maps, delta_maps);
+    config.enable_parallel_shards(parallel_shards);
+    config.engine.supplier_capacity = exp::capacity_from_string(capacity_model);
   }
 };
 
@@ -49,6 +53,11 @@ inline bool parse_bench_flags(int argc, char** argv, BenchOptions& options,
   flags.define_bool("delta-maps", false,
                     "charge availability gossip as buffer-map deltas (implies "
                     "--incremental-availability; lowers the overhead metric)");
+  flags.define_int("parallel-shards", 0,
+                   "sharded parallel core: plan lanes / event-queue shards "
+                   "(identical metrics at any count; 0 = sequential)");
+  flags.define("capacity-model", "shared-fifo",
+               "supplier capacity model: shared-fifo|per-link|token-bucket");
   flags.define("csv", "", "optional CSV output path");
   flags.define("log", "warn", "log level");
   if (!flags.parse(argc, argv)) return false;
@@ -60,6 +69,8 @@ inline bool parse_bench_flags(int argc, char** argv, BenchOptions& options,
   options.batch_dispatch = flags.get_bool("batch-dispatch");
   options.incremental_availability = flags.get_bool("incremental-availability");
   options.delta_maps = flags.get_bool("delta-maps");
+  options.parallel_shards = static_cast<std::size_t>(flags.get_int("parallel-shards"));
+  options.capacity_model = flags.get("capacity-model");
 
   std::string list = flags.get_bool("quick") ? "100,500" : flags.get("sizes");
   if (flags.get_bool("quick")) options.trials = 1;

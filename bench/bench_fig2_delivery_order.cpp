@@ -80,9 +80,8 @@ int main(int argc, char** argv) {
 
   gs::core::FastSwitchScheduler fast;
   candidates = fig2_candidates();
-  print_order("fast switch:", fast.schedule(ctx, candidates), ctx.s1_end);
-
-  const auto& split = fast.last_split();
+  gs::core::RateSplit split{};
+  print_order("fast switch:", fast.schedule_with_split(ctx, candidates, &split), ctx.s1_end);
   std::printf("\nclosed-form split: r1=%.3f r2=%.3f (case %d) -> I1=%.3f I2=%.3f\n", split.r1,
               split.r2, split.case_id, split.i1, split.i2);
   std::printf("paper: normal fetches all of S1 first; fast interleaves both streams.\n");

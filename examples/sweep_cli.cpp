@@ -3,7 +3,8 @@
 // tool exposes the whole configuration surface for custom studies.
 //
 //   ./sweep_cli --sizes 200,1000 --trials 3 --topology ring --churn 0.05
-//   ./sweep_cli --sizes 500 --qs 80 --neighbor 7 --capacity per-link --csv out.csv
+//   ./sweep_cli --sizes 500 --qs 80 --neighbor 7 --capacity-model per-link --csv out.csv
+//   ./sweep_cli --sizes 10000 --tick-shard 256 --parallel-shards 8 --incremental-availability
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -47,7 +48,10 @@ int main(int argc, char** argv) {
   flags.define_double("source-outbound", 120.0, "source outbound rate (segments/s)");
   flags.define_double("diversity", 0.25, "substrate diversity reservation fraction");
   flags.define_bool("traditional-rarity", false, "use 1/n rarity instead of eq. 8");
-  flags.define("capacity", "shared-fifo", "supplier capacity model: shared-fifo|per-link");
+  flags.define("capacity-model", "shared-fifo",
+               "supplier capacity model: shared-fifo|per-link|token-bucket");
+  flags.define_double("token-bucket-burst", 4.0,
+                      "token-bucket burst depth in segments (>= 1)");
   flags.define_bool("batch-dispatch", false,
                     "batched tick dispatch (identical metrics, fewer simulator events)");
   flags.define_bool("incremental-availability", false,
@@ -57,6 +61,9 @@ int main(int argc, char** argv) {
                     "--incremental-availability; lowers the overhead metric)");
   flags.define_int("map-refresh", 10, "adverts between full-map refreshes under --delta-maps");
   flags.define_int("tick-shard", 16, "peers per tick shard (phase group; both dispatch modes)");
+  flags.define_int("parallel-shards", 0,
+                   "sharded parallel core: plan lanes / event-queue shards "
+                   "(identical metrics at any count; 0 = sequential)");
   flags.define_bool("push", false, "enable GridMedia-style fresh-segment push");
   flags.define_int("push-fanout", 2, "push fanout when --push");
   flags.define("csv", "", "write the comparison table to this CSV");
@@ -75,13 +82,15 @@ int main(int argc, char** argv) {
   base.engine.source_outbound = flags.get_double("source-outbound");
   base.priority.diversity_fraction = flags.get_double("diversity");
   base.priority.traditional_rarity = flags.get_bool("traditional-rarity");
-  base.engine.supplier_capacity = gs::exp::capacity_from_string(flags.get("capacity"));
+  base.engine.supplier_capacity = gs::exp::capacity_from_string(flags.get("capacity-model"));
+  base.engine.token_bucket_burst = flags.get_double("token-bucket-burst");
   base.enable_batch_dispatch(flags.get_bool("batch-dispatch"));
   base.enable_incremental_availability(
       flags.get_bool("incremental-availability") || flags.get_bool("delta-maps"),
       flags.get_bool("delta-maps"));
   base.engine.map_refresh_period = static_cast<std::size_t>(flags.get_int("map-refresh"));
   base.engine.tick_shard_size = static_cast<std::size_t>(flags.get_int("tick-shard"));
+  base.enable_parallel_shards(static_cast<std::size_t>(flags.get_int("parallel-shards")));
   base.engine.push_fresh_segments = flags.get_bool("push");
   base.engine.push_fanout = static_cast<std::size_t>(flags.get_int("push-fanout"));
 

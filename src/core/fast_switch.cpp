@@ -83,6 +83,12 @@ void promote_fresh_candidates(const stream::ScheduleContext& ctx,
 
 std::vector<stream::ScheduledRequest> FastSwitchScheduler::schedule(
     const stream::ScheduleContext& ctx, std::vector<stream::CandidateSegment>& candidates) {
+  return schedule_with_split(ctx, candidates, nullptr);
+}
+
+std::vector<stream::ScheduledRequest> FastSwitchScheduler::schedule_with_split(
+    const stream::ScheduleContext& ctx, std::vector<stream::CandidateSegment>& candidates,
+    RateSplit* split_out) {
   std::vector<stream::ScheduledRequest> requests;
   if (candidates.empty() || ctx.max_requests == 0) return requests;
 
@@ -119,12 +125,15 @@ std::vector<stream::ScheduledRequest> FastSwitchScheduler::schedule(
   in.inbound = std::max(ctx.inbound_rate, 1e-9);
   const double o1_rate = static_cast<double>(o1.size()) / ctx.period;
   const double o2_rate = static_cast<double>(o2.size()) / ctx.period;
-  last_split_ = solve_capped(in, o1_rate, o2_rate);
+  // A local, not instance state: schedule() must stay safe to call
+  // concurrently from the sharded engine's plan lanes.
+  const RateSplit split = solve_capped(in, o1_rate, o2_rate);
+  if (split_out != nullptr) *split_out = split;
 
   // Round the shares to whole segments; +0.5 on i1 keeps the pair summing
   // near the budget without systematically starving either side.
-  auto n1 = static_cast<std::size_t>(std::floor(last_split_.i1 * ctx.period + 0.5));
-  auto n2 = static_cast<std::size_t>(std::floor(last_split_.i2 * ctx.period + 0.5));
+  auto n1 = static_cast<std::size_t>(std::floor(split.i1 * ctx.period + 0.5));
+  auto n2 = static_cast<std::size_t>(std::floor(split.i2 * ctx.period + 0.5));
   n1 = std::min(n1, o1.size());
   n2 = std::min(n2, o2.size());
 

@@ -29,17 +29,22 @@ class FastSwitchScheduler final : public stream::SchedulerStrategy {
 
   [[nodiscard]] std::string_view name() const noexcept override { return "fast"; }
 
+  /// Stateless per call — one instance is shared by every peer, and the
+  /// sharded engine core invokes it concurrently from plan lanes, so the
+  /// strategy must not touch instance state besides the immutable params.
   [[nodiscard]] std::vector<stream::ScheduledRequest> schedule(
       const stream::ScheduleContext& ctx,
       std::vector<stream::CandidateSegment>& candidates) override;
 
-  /// The split chosen by the most recent schedule() call with an active
-  /// switch (diagnostics / tests).
-  [[nodiscard]] const RateSplit& last_split() const noexcept { return last_split_; }
+  /// schedule() variant reporting the closed-form split it chose when a
+  /// switch was active (diagnostics / tests; `split_out` may be null and is
+  /// untouched when no split happened).
+  [[nodiscard]] std::vector<stream::ScheduledRequest> schedule_with_split(
+      const stream::ScheduleContext& ctx, std::vector<stream::CandidateSegment>& candidates,
+      RateSplit* split_out);
 
  private:
   PriorityParams params_;
-  RateSplit last_split_{};
 };
 
 /// Shared helper: sort candidates by priority (descending, stable) and

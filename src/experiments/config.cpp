@@ -40,7 +40,8 @@ AlgorithmKind algorithm_from_string(std::string_view name) {
 
 stream::SupplierCapacityModel capacity_from_string(std::string_view name) {
   for (const auto kind : {stream::SupplierCapacityModel::kSharedFifo,
-                          stream::SupplierCapacityModel::kPerLink}) {
+                          stream::SupplierCapacityModel::kPerLink,
+                          stream::SupplierCapacityModel::kTokenBucket}) {
     if (name == stream::to_string(kind)) return kind;
   }
   throw std::invalid_argument("unknown capacity model: " + std::string(name));
@@ -80,6 +81,14 @@ void Config::validate() const {
   }
   if (engine.map_refresh_period == 0) {
     throw std::invalid_argument("map_refresh_period must be >= 1");
+  }
+  if (engine.token_bucket_burst < 1.0) {
+    throw std::invalid_argument("token_bucket_burst must be >= 1");
+  }
+  // Catches negative CLI values wrapping through size_t; the engine clamps
+  // plan lanes to the hardware anyway, so huge counts are never meaningful.
+  if (engine.parallel_shards > 4096) {
+    throw std::invalid_argument("parallel_shards out of range (0 = sequential, <= 4096)");
   }
   if (switch_times.front() < 0.0) {
     throw std::invalid_argument("first switch must be at t >= 0 (warm-up is t < 0)");

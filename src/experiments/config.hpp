@@ -73,6 +73,13 @@ struct Config {
     engine.delta_maps = on && delta;
   }
 
+  /// Turns on the sharded parallel simulation core with `shards` plan
+  /// lanes / event-queue shards (`--parallel-shards`; 0 = sequential).
+  /// Pure mechanism: fixed-seed metrics are bit-identical at every shard
+  /// count; only wall-clock and the shard diagnostics change.  Implies
+  /// batched dispatch.
+  void enable_parallel_shards(std::size_t shards) { engine.parallel_shards = shards; }
+
   /// Throws std::invalid_argument on inconsistent settings.
   void validate() const;
 

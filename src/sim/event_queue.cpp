@@ -6,30 +6,48 @@
 
 namespace gs::sim {
 
-EventId EventQueue::schedule(Time at, std::function<void()> action) {
-  const EventId id = next_id_++;
-  Entry entry;
-  entry.at = at;
-  entry.id = id;
-  entry.action = std::move(action);
-  heap_.push_back(std::move(entry));
-  std::push_heap(heap_.begin(), heap_.end(), Later{});
+void EventQueue::set_shard_count(std::size_t shards) {
+  GS_CHECK_GE(shards, 1u);
+  GS_CHECK(empty()) << "shard layout may only change while the queue is empty";
+  heaps_.assign(shards, {});
+  cached_top_ = kNoShard;
+}
+
+EventId EventQueue::push_entry(std::size_t shard, Entry entry) {
+  GS_CHECK_LT(shard, heaps_.size());
+  entry.id = next_id_++;
+  const EventId id = entry.id;
+  std::vector<Entry>& heap = heaps_[shard];
+  heap.push_back(std::move(entry));
+  std::push_heap(heap.begin(), heap.end(), Later{});
   ++live_;
+  cached_top_ = kNoShard;  // the new entry may beat the cached head
   return id;
 }
 
+EventId EventQueue::schedule(Time at, std::function<void()> action) {
+  return schedule_on(0, at, std::move(action));
+}
+
 EventId EventQueue::schedule(Time at, EventSink& sink, std::uint64_t a, std::uint64_t b) {
-  const EventId id = next_id_++;
+  return schedule_on(0, at, sink, a, b);
+}
+
+EventId EventQueue::schedule_on(std::size_t shard, Time at, std::function<void()> action) {
   Entry entry;
   entry.at = at;
-  entry.id = id;
+  entry.action = std::move(action);
+  return push_entry(shard, std::move(entry));
+}
+
+EventId EventQueue::schedule_on(std::size_t shard, Time at, EventSink& sink, std::uint64_t a,
+                                std::uint64_t b) {
+  Entry entry;
+  entry.at = at;
   entry.sink = &sink;
   entry.a = a;
   entry.b = b;
-  heap_.push_back(std::move(entry));
-  std::push_heap(heap_.begin(), heap_.end(), Later{});
-  ++live_;
-  return id;
+  return push_entry(shard, std::move(entry));
 }
 
 bool EventQueue::cancel(EventId id) {
@@ -40,15 +58,20 @@ bool EventQueue::cancel(EventId id) {
   const bool inserted = cancelled_.insert(id).second;
   if (!inserted) return false;
   // The id might belong to an event that already fired; verify it is still
-  // in the heap.  Linear scan is fine: cancels are rare (churn only).
-  const bool pending = std::any_of(heap_.begin(), heap_.end(),
-                                   [id](const Entry& e) { return e.id == id; });
+  // in a heap.  Linear scan is fine: cancels are rare (churn only).
+  bool pending = false;
+  for (const std::vector<Entry>& heap : heaps_) {
+    pending = std::any_of(heap.begin(), heap.end(),
+                          [id](const Entry& e) { return e.id == id; });
+    if (pending) break;
+  }
   if (!pending) {
     cancelled_.erase(id);
     return false;
   }
   GS_CHECK_GT(live_, 0u);
   --live_;
+  cached_top_ = kNoShard;  // the cached head may be the cancelled entry
   return true;
 }
 
@@ -56,36 +79,57 @@ bool EventQueue::empty() const noexcept { return live_ == 0; }
 
 std::size_t EventQueue::size() const noexcept { return live_; }
 
-void EventQueue::skip_cancelled() {
-  while (!heap_.empty()) {
-    const auto it = cancelled_.find(heap_.front().id);
+void EventQueue::skip_cancelled(std::size_t shard) {
+  std::vector<Entry>& heap = heaps_[shard];
+  while (!heap.empty()) {
+    const auto it = cancelled_.find(heap.front().id);
     if (it == cancelled_.end()) return;
     cancelled_.erase(it);
-    std::pop_heap(heap_.begin(), heap_.end(), Later{});
-    heap_.pop_back();
+    std::pop_heap(heap.begin(), heap.end(), Later{});
+    heap.pop_back();
   }
+}
+
+std::size_t EventQueue::top_shard() {
+  if (cached_top_ != kNoShard) return cached_top_;
+  // The deterministic cross-shard merge: among the live shard heads, the
+  // (time, sequence) minimum is exactly the entry a single global queue
+  // would pop next.  Linear scan — shard counts are small (cores, not
+  // peers) and the per-shard heaps already did the log-factor work.  The
+  // memo makes the run loop's next_time() + pop_and_run() pair pay for one
+  // scan, not two.
+  std::size_t best = heaps_.size();
+  for (std::size_t shard = 0; shard < heaps_.size(); ++shard) {
+    skip_cancelled(shard);
+    const std::vector<Entry>& heap = heaps_[shard];
+    if (heap.empty()) continue;
+    if (best == heaps_.size() || Later{}(heaps_[best].front(), heap.front())) {
+      best = shard;
+    }
+  }
+  GS_CHECK_LT(best, heaps_.size());
+  cached_top_ = best;
+  return best;
 }
 
 Time EventQueue::next_time() const {
   GS_CHECK(!empty());
-  // skip_cancelled() is non-const; emulate by scanning from the top.  The
-  // head is guaranteed live after pop_and_run/schedule maintain the heap,
-  // but cancels may leave dead entries at the top, so do the cleanup here
-  // via const_cast (logical constness: observable state is unchanged).
+  // top_shard() is non-const (it drops cancelled heads), but observable
+  // state is unchanged — logical constness via const_cast.
   auto* self = const_cast<EventQueue*>(this);
-  self->skip_cancelled();
-  GS_CHECK(!heap_.empty());
-  return heap_.front().at;
+  return self->heaps_[self->top_shard()].front().at;
 }
 
-Time EventQueue::pop_and_run() {
+Time EventQueue::pop_and_run(std::size_t* shard_out) {
   GS_CHECK(!empty());
-  skip_cancelled();
-  GS_CHECK(!heap_.empty());
-  std::pop_heap(heap_.begin(), heap_.end(), Later{});
-  Entry entry = std::move(heap_.back());
-  heap_.pop_back();
+  const std::size_t shard = top_shard();
+  if (shard_out != nullptr) *shard_out = shard;
+  std::vector<Entry>& heap = heaps_[shard];
+  std::pop_heap(heap.begin(), heap.end(), Later{});
+  Entry entry = std::move(heap.back());
+  heap.pop_back();
   --live_;
+  cached_top_ = kNoShard;
   if (entry.sink != nullptr) {
     entry.sink->on_event(entry.a, entry.b);
   } else {
@@ -95,9 +139,10 @@ Time EventQueue::pop_and_run() {
 }
 
 void EventQueue::clear() noexcept {
-  heap_.clear();
+  for (std::vector<Entry>& heap : heaps_) heap.clear();
   cancelled_.clear();
   live_ = 0;
+  cached_top_ = kNoShard;
 }
 
 }  // namespace gs::sim

@@ -1,8 +1,19 @@
 // Pending-event set for the discrete-event simulator.
 //
-// A binary heap keyed by (time, sequence): the sequence number makes
+// Binary heaps keyed by (time, sequence): the sequence number makes
 // same-time events fire in insertion order, which keeps runs bit-for-bit
 // reproducible regardless of heap internals.
+//
+// The queue is optionally *sharded*: set_shard_count(P) partitions the
+// pending set into P independent heaps, and schedule_on(shard, ...) places
+// an event in a specific partition (the sharded engine routes each peer's
+// delivery events to that peer's shard).  Sequence numbers stay GLOBAL
+// across shards, and the pop side merges the shard heads by
+// (time, sequence) — so the execution order is exactly the order a single
+// unsharded queue would produce, no matter how events are distributed.
+// That merge rule is what keeps sharded runs bit-identical to sequential
+// ones; the shard dimension only buys smaller heaps (cheaper push/pop at
+// scale) and a per-peer-partitioned pending set.
 //
 // Two kinds of entry share the one sequence domain (so their mutual
 // ordering at a timestamp is still insertion order):
@@ -37,16 +48,30 @@ class EventSink {
 
 class EventQueue {
  public:
-  /// Schedules `action` at absolute time `at`.  Returns an id usable with
-  /// cancel().  `at` may equal the current head time; ties fire in
-  /// scheduling order.
+  EventQueue() : heaps_(1) {}
+
+  /// Partitions the pending set into `shards` independent heaps (>= 1).
+  /// Must be called while the queue is empty; existing entries are not
+  /// redistributed.  Pop order is unaffected (global (time, sequence)
+  /// merge); only schedule_on targets change meaning.
+  void set_shard_count(std::size_t shards);
+  [[nodiscard]] std::size_t shard_count() const noexcept { return heaps_.size(); }
+
+  /// Schedules `action` at absolute time `at` on shard 0.  Returns an id
+  /// usable with cancel().  `at` may equal the current head time; ties fire
+  /// in scheduling order.
   EventId schedule(Time at, std::function<void()> action);
 
-  /// Schedules a pooled plain-struct event: at time `at`, calls
+  /// Schedules a pooled plain-struct event on shard 0: at time `at`, calls
   /// `sink.on_event(a, b)`.  Same ordering domain and cancellation rules as
   /// the closure overload, but the entry carries the payload inline, so
   /// this never allocates.  `sink` must outlive the event.
   EventId schedule(Time at, EventSink& sink, std::uint64_t a, std::uint64_t b);
+
+  /// schedule() variants targeting a specific shard's heap.
+  EventId schedule_on(std::size_t shard, Time at, std::function<void()> action);
+  EventId schedule_on(std::size_t shard, Time at, EventSink& sink, std::uint64_t a,
+                      std::uint64_t b);
 
   /// Cancels a pending event.  Returns false if the event already fired,
   /// was already cancelled, or never existed.
@@ -58,17 +83,19 @@ class EventQueue {
   /// Time of the earliest pending event; requires !empty().
   [[nodiscard]] Time next_time() const;
 
-  /// Pops and runs the earliest pending event; requires !empty().
-  /// Returns the time of the event that ran.
-  Time pop_and_run();
+  /// Pops and runs the earliest pending event (the (time, sequence) min
+  /// across every shard head); requires !empty().  Returns the time of the
+  /// event that ran; `shard_out`, when non-null, receives the shard it was
+  /// popped from.
+  Time pop_and_run(std::size_t* shard_out = nullptr);
 
   /// Drops all pending events.
   void clear() noexcept;
 
  private:
   struct Entry {
-    Time at;
-    EventId id;
+    Time at = 0.0;
+    EventId id = 0;
     /// Non-null selects the pooled plain-struct path; `action` is unused.
     EventSink* sink = nullptr;
     std::uint64_t a = 0;
@@ -82,13 +109,23 @@ class EventQueue {
     }
   };
 
-  /// Removes cancelled entries sitting at the heap top.
-  void skip_cancelled();
+  EventId push_entry(std::size_t shard, Entry entry);
+  /// Removes cancelled entries sitting at `shard`'s heap top.
+  void skip_cancelled(std::size_t shard);
+  /// Shard holding the globally earliest live entry; requires !empty().
+  /// Drops cancelled heads as a side effect and caches the winner so the
+  /// usual next_time() + pop_and_run() pair scans the shard heads once.
+  [[nodiscard]] std::size_t top_shard();
 
-  std::vector<Entry> heap_;
+  static constexpr std::size_t kNoShard = static_cast<std::size_t>(-1);
+
+  /// One binary heap per shard; the unsharded queue is the 1-shard case.
+  std::vector<std::vector<Entry>> heaps_;
   std::unordered_set<EventId> cancelled_;
   EventId next_id_ = 1;
   std::size_t live_ = 0;
+  /// top_shard() memo; kNoShard whenever the heaps may have changed.
+  std::size_t cached_top_ = kNoShard;
 };
 
 }  // namespace gs::sim

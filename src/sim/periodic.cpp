@@ -94,8 +94,17 @@ void BatchTicker::on_event(std::uint64_t a, std::uint64_t /*b*/) {
   // singletons) may reallocate groups_; mutating this group's own member
   // list mid-sweep is rejected by add_member/remove_member.
   sweeping_ = index;
-  for (std::size_t i = 0; i < groups_[index].members.size(); ++i) {
-    sweep_(groups_[index].members[i], now);
+  if (batch_sweep_) {
+    // Hand the callback a stable copy: a sweep that creates other groups
+    // (joiner singletons) may reallocate groups_, which would dangle a
+    // reference into it.  The scratch keeps its capacity, so steady state
+    // is one memcpy per sweep, no allocation.
+    batch_scratch_.assign(groups_[index].members.begin(), groups_[index].members.end());
+    batch_sweep_(batch_scratch_, now);
+  } else {
+    for (std::size_t i = 0; i < groups_[index].members.size(); ++i) {
+      sweep_(groups_[index].members[i], now);
+    }
   }
   sweeping_ = static_cast<std::size_t>(-1);
   Group& group = groups_[index];

@@ -70,9 +70,19 @@ class BatchTicker final : public EventSink {
  public:
   /// `sweep(member, now)` is invoked once per member per period.
   using Sweep = std::function<void(std::uint32_t member, Time now)>;
+  /// Whole-group variant: receives the live member list (add order) of the
+  /// firing group.  Installed by the sharded engine so one sweep can run
+  /// its members through barrier-phased passes (plan in parallel, commit in
+  /// member order); the callee must preserve the per-member semantics of
+  /// `sweep` and must not mutate the list.
+  using BatchSweep = std::function<void(const std::vector<std::uint32_t>& members, Time now)>;
 
   BatchTicker(Simulator& sim, Time period, Sweep sweep);
   ~BatchTicker() override;
+
+  /// Routes sweeps through `batch` instead of per-member `sweep` calls
+  /// (nullptr restores the per-member path).
+  void set_batch_sweep(BatchSweep batch) { batch_sweep_ = std::move(batch); }
 
   BatchTicker(const BatchTicker&) = delete;
   BatchTicker& operator=(const BatchTicker&) = delete;
@@ -110,6 +120,9 @@ class BatchTicker final : public EventSink {
   Simulator& sim_;
   Time period_;
   Sweep sweep_;
+  BatchSweep batch_sweep_;
+  /// Stable member-list copy handed to batch_sweep_ (reused capacity).
+  std::vector<std::uint32_t> batch_scratch_;
   std::vector<Group> groups_;
   /// Group currently being swept (checked so a sweep callback cannot
   /// mutate the member list it is iterating); npos when idle.

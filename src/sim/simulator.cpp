@@ -1,27 +1,44 @@
 #include "sim/simulator.hpp"
 
+#include <utility>
+
 #include "util/check.hpp"
 
 namespace gs::sim {
 
+void Simulator::enable_shards(std::size_t shards, ShardRouter router) {
+  GS_CHECK_GE(shards, 1u);
+  GS_CHECK(router != nullptr);
+  queue_.set_shard_count(shards);
+  router_ = std::move(router);
+}
+
+std::size_t Simulator::route(const EventSink& sink, std::uint64_t a, std::uint64_t b) {
+  if (!router_) return 0;
+  const std::size_t shard = router_(sink, a, b);
+  GS_CHECK_LT(shard, queue_.shard_count());
+  if (shard != executing_shard_) ++cross_shard_scheduled_;
+  return shard;
+}
+
 EventId Simulator::at(Time when, std::function<void()> action) {
   GS_CHECK_GE(when, now_);
-  return queue_.schedule(when, std::move(action));
+  return queue_.schedule_on(0, when, std::move(action));
 }
 
 EventId Simulator::after(Time delay, std::function<void()> action) {
   GS_CHECK_GE(delay, 0.0);
-  return queue_.schedule(now_ + delay, std::move(action));
+  return queue_.schedule_on(0, now_ + delay, std::move(action));
 }
 
 EventId Simulator::at(Time when, EventSink& sink, std::uint64_t a, std::uint64_t b) {
   GS_CHECK_GE(when, now_);
-  return queue_.schedule(when, sink, a, b);
+  return queue_.schedule_on(route(sink, a, b), when, sink, a, b);
 }
 
 EventId Simulator::after(Time delay, EventSink& sink, std::uint64_t a, std::uint64_t b) {
   GS_CHECK_GE(delay, 0.0);
-  return queue_.schedule(now_ + delay, sink, a, b);
+  return queue_.schedule_on(route(sink, a, b), now_ + delay, sink, a, b);
 }
 
 std::size_t Simulator::run_until(Time until) {
@@ -31,7 +48,8 @@ std::size_t Simulator::run_until(Time until) {
     const Time next = queue_.next_time();
     if (next > until) break;
     now_ = next;
-    queue_.pop_and_run();
+    queue_.pop_and_run(&executing_shard_);
+    executing_shard_ = 0;
     ++ran;
   }
   // Advance the clock to the horizon even if no event sits exactly there,
@@ -45,7 +63,8 @@ std::size_t Simulator::run_all() {
   std::size_t ran = 0;
   while (!queue_.empty() && !stop_requested_) {
     now_ = queue_.next_time();
-    queue_.pop_and_run();
+    queue_.pop_and_run(&executing_shard_);
+    executing_shard_ = 0;
     ++ran;
   }
   return ran;

@@ -4,10 +4,12 @@
 #include "stream/engine.hpp"
 
 #include <algorithm>
+#include <thread>
 #include <unordered_map>
 
 #include "util/check.hpp"
 #include "util/logging.hpp"
+#include "util/thread_pool.hpp"
 
 namespace gs::stream {
 
@@ -22,13 +24,33 @@ Engine::Engine(net::Graph graph, net::LatencyModel latency, EngineConfig config,
       membership_(graph_, config_.membership_degree,
                   util::Rng(config_.seed).fork(util::hash_name("membership")), &overhead_),
       transfers_(sim_, latency_, config_.supplier_capacity, config_.accept_horizon,
-                 [this](net::NodeId to, SegmentId id) { on_delivery(to, id); }),
+                 [this](net::NodeId to, SegmentId id) { on_delivery(to, id); },
+                 config_.token_bucket_burst),
       churn_rng_(util::Rng(config_.seed).fork(util::hash_name("churn"))),
       setup_rng_(util::Rng(config_.seed).fork(util::hash_name("setup"))) {
   GS_CHECK(strategy_ != nullptr);
   GS_CHECK_EQ(latency_.node_count(), graph_.node_count());
   GS_CHECK(!config_.delta_maps || config_.incremental_availability)
       << "delta_maps requires incremental_availability";
+  if (config_.parallel_shards > 0) {
+    // The sweep is the parallel unit, so the sharded core rides on batched
+    // dispatch (bit-identical to per-peer dispatch by PR 2's invariant).
+    config_.batch_dispatch = true;
+    // Every pop scans the shard heads, so queue shards beyond a few dozen
+    // only add scan cost.  The clamp is a fixed constant (not hardware-
+    // dependent) — routing never affects results, but keeping the layout
+    // machine-independent keeps the cross_shard_events diagnostic portable.
+    const std::size_t shards = std::min<std::size_t>(config_.parallel_shards, 64);
+    // Shard 0 is the control queue (ticks, generation, churn, switches);
+    // each peer's deliveries live on queue 1 + id % P.  The queue merges
+    // heads by (time, global sequence), so routing never changes execution
+    // order — only heap sizes and the cross-shard traffic diagnostic.
+    sim_.enable_shards(1 + shards, [this, shards](const sim::EventSink& sink, std::uint64_t a,
+                                                  std::uint64_t /*b*/) -> std::size_t {
+      if (&sink == &transfers_) return 1 + static_cast<std::size_t>(a) % shards;
+      return 0;
+    });
+  }
   // Warm-up traffic is outside the paper's measurement window.
   overhead_.set_enabled(false);
   // Degree-repair edges appear between existing peers deep inside
@@ -107,19 +129,44 @@ void Engine::schedule_switch(int switch_index) {
 }
 
 // ---------------------------------------------------------------- tick ---
+//
+// One tick = pre + plan + commit.  The sequential dispatch paths run the
+// three phases back to back per peer, which is byte-for-byte the historical
+// tick; the sharded sweep (run_parallel_sweep) runs pre for every member in
+// order, plans all members concurrently, then commits in order — with the
+// plan-staleness check bridging the only cross-member data flow a sweep
+// has (capacity commits feeding later members' queue-delay reads).
 
 void Engine::tick(PeerNode& p, double now) {
-  if (!p.alive || p.is_source) return;
+  if (!tick_pre(p, now, scan_seq_)) return;
+  tick_plan(p, now, scan_seq_, plan_seq_);
+  tick_commit(p, now, scan_seq_, plan_seq_, /*validate=*/false);
+}
+
+bool Engine::tick_pre(PeerNode& p, double now, NeighborScan& scan) {
+  if (!p.alive || p.is_source) return false;
   p.in_budget.replenish(config_.tau);
-  snapshot_and_learn(p);
+  snapshot_and_learn(p, scan);
   p.prune_pending(now);
 
   advance_playback(p, now);
   maybe_start_playback(p, now);
+  return true;
+}
 
+void Engine::tick_plan(PeerNode& p, double now, const NeighborScan& scan, TickPlan& plan) {
+  plan.planned = false;
+  plan.split_active = false;
+  plan.s1_end = kNoSegment;
+  plan.candidates.clear();
+  plan.requests.clear();
+  plan.probes = 0;
   if (p.in_budget.whole() == 0) return;
-  std::vector<CandidateSegment> candidates = build_candidates(p, now);
-  if (candidates.empty()) return;
+  plan.planned = true;
+  plan.rng_before = p.rng;
+  plan.stamp = capacity_commits_;
+  build_candidates(p, now, scan, plan);
+  if (plan.candidates.empty()) return;
 
   ScheduleContext ctx;
   ctx.now = now;
@@ -132,39 +179,72 @@ void Engine::tick(PeerNode& p, double now) {
   ctx.buffer_capacity = config_.buffer_capacity;
   ctx.max_requests = p.in_budget.whole();
   ctx.rng = &p.rng;
-  const bool split_active = p.active_switch >= 0 && p.known_boundary >= p.active_switch &&
-                            !p.sw_prepared;
-  if (split_active) {
-    ctx.s1_end = timeline_.session(static_cast<std::size_t>(p.active_switch)).last;
+  plan.split_active = p.active_switch >= 0 && p.known_boundary >= p.active_switch &&
+                      !p.sw_prepared;
+  if (plan.split_active) {
+    plan.s1_end = timeline_.session(static_cast<std::size_t>(p.active_switch)).last;
+    ctx.s1_end = plan.s1_end;
     ctx.s2_begin = ctx.s1_end + 1;
     ctx.q1_remaining = p.q1_missing;
     ctx.q2_remaining = p.q2_missing;
-    ++stats_.split_ticks;
   }
+  plan.requests = p.strategy->schedule(ctx, plan.candidates);
+}
 
-  candidates_seen_ += candidates.size();
-  const std::vector<ScheduledRequest> requests = p.strategy->schedule(ctx, candidates);
-  scheduled_seen_ += requests.size();
-  if (split_active) {
-    for (const ScheduledRequest& r : requests) {
-      if (r.id > ctx.s1_end) {
+bool Engine::plan_is_stale(const PeerNode& p, const NeighborScan& scan,
+                           const TickPlan& plan) const {
+  if (dirty_supplier_.empty() || !transfers_.supplier_shared()) return false;
+  // The plan's queue-delay reads covered (a subset of) the alive
+  // neighbours; per-link capacity can never conflict (requester-keyed).
+  const std::vector<net::NodeId>& alive =
+      availability_.enabled() ? availability_.view(p.id).alive_neighbors : scan.alive;
+  for (const net::NodeId nb : alive) {
+    if (dirty_supplier_[nb] > plan.stamp) return true;
+  }
+  return false;
+}
+
+void Engine::tick_commit(PeerNode& p, double now, const NeighborScan& scan, TickPlan& plan,
+                         bool validate) {
+  if (!plan.planned) return;
+  if (validate && !plan.candidates.empty() && plan_is_stale(p, scan, plan)) {
+    // An earlier member committed capacity on a supplier this plan read:
+    // its queue-delay estimates (and therefore the strategy's choices and
+    // rng draws) may differ from what the sequential order would produce.
+    // Roll the rng back and re-derive against the live transfer plane —
+    // the candidate *set* cannot change (buffers are stable in a sweep),
+    // only supplier scores.
+    p.rng = plan.rng_before;
+    ++stats_.replanned_ticks;
+    tick_plan(p, now, scan, plan);
+  }
+  stats_.availability_probes += plan.probes;
+  if (plan.candidates.empty()) return;
+
+  if (plan.split_active) {
+    ++stats_.split_ticks;
+    for (const ScheduledRequest& r : plan.requests) {
+      if (r.id > plan.s1_end) {
         ++stats_.new_stream_requests;
       } else {
         ++stats_.old_stream_requests;
       }
     }
   }
+  candidates_seen_ += plan.candidates.size();
+  scheduled_seen_ += plan.requests.size();
+
   // Supplier fallback on rejection (the strategy names one supplier per
   // segment; a saturated supplier should not cost the whole period when an
   // alternate neighbour also holds the segment).  The id index is built
   // lazily: most ticks see no rejection at all.
   std::unordered_map<SegmentId, const CandidateSegment*> by_id;
-  for (const ScheduledRequest& r : requests) {
+  for (const ScheduledRequest& r : plan.requests) {
     if (p.in_budget.whole() == 0) break;
     if (issue_one(p, r.id, r.supplier, now)) continue;
     if (by_id.empty()) {
-      by_id.reserve(candidates.size());
-      for (const CandidateSegment& c : candidates) by_id.emplace(c.id, &c);
+      by_id.reserve(plan.candidates.size());
+      for (const CandidateSegment& c : plan.candidates) by_id.emplace(c.id, &c);
     }
     const auto it = by_id.find(r.id);
     if (it == by_id.end()) continue;
@@ -175,7 +255,57 @@ void Engine::tick(PeerNode& p, double now) {
   }
 }
 
-void Engine::snapshot_and_learn(PeerNode& p) {
+void Engine::run_parallel_sweep(const std::vector<std::uint32_t>& members, double now) {
+  const std::size_t n = members.size();
+  ++stats_.parallel_sweeps;
+  if (dirty_supplier_.size() < peers_.size()) dirty_supplier_.resize(peers_.size(), 0);
+  // Lanes beyond the physical cores only thrash the scheduler (metrics are
+  // lane-count-independent, so the clamp is free).
+  const std::size_t lanes = std::min<std::size_t>(
+      config_.parallel_shards, std::max<std::size_t>(1, std::thread::hardware_concurrency()));
+  // Wave size bounds the speculation window: a member's plan can only go
+  // stale against commits of its *own* wave (earlier waves are already
+  // committed when it plans), so the stale-replan rate scales with the
+  // wave, while each wave still carries ~16 plans per lane of parallel
+  // work.  Any wave size yields identical results — valid plans equal the
+  // sequential computation and stale ones are re-planned — so this is a
+  // pure throughput knob.
+  const std::size_t wave = std::max<std::size_t>(32, 16 * lanes);
+  if (batch_scans_.size() < std::min(n, wave)) {
+    batch_scans_.resize(std::min(n, wave));
+    batch_plans_.resize(std::min(n, wave));
+  }
+  for (std::size_t base = 0; base < n; base += wave) {
+    const std::size_t count = std::min(wave, n - base);
+    // Pre, in member order: all cross-peer-visible writes of a tick
+    // (availability adverts, boundary learning, playback/metric
+    // bookkeeping) happen here with exactly the interleaving the
+    // per-member sweep would produce (nothing a plan reads is written by
+    // pre, so running the wave's pres ahead of its plans is invisible).
+    for (std::size_t i = 0; i < count; ++i) {
+      batch_plans_[i].live = tick_pre(peers_[members[base + i]], now, batch_scans_[i]);
+    }
+    // Plan, in parallel: pure reads of shared state plus disjoint writes
+    // (each member's own slot and rng).  The pool may be saturated by
+    // outer experiment sweeps — run_batch's caller lane guarantees
+    // progress.
+    util::global_pool().run_batch(count, lanes, [this, &members, base, now](std::size_t i) {
+      if (!batch_plans_[i].live) return;
+      tick_plan(peers_[members[base + i]], now, batch_scans_[i], batch_plans_[i]);
+    });
+    // Commit, in member order: the per-shard outboxes (the plans) drain
+    // deterministically — counters, requests, capacity commits, delivery
+    // events — re-planning any member whose speculation went stale.
+    for (std::size_t i = 0; i < count; ++i) {
+      if (!batch_plans_[i].live) continue;
+      if (batch_plans_[i].planned) ++stats_.planned_ticks;
+      tick_commit(peers_[members[base + i]], now, batch_scans_[i], batch_plans_[i],
+                  /*validate=*/true);
+    }
+  }
+}
+
+void Engine::snapshot_and_learn(PeerNode& p, NeighborScan& scan) {
   if (availability_.enabled()) {
     // The maintained view already holds everything the legacy rescan would
     // re-derive; the tick just reads it (and pays the wire cost).
@@ -192,18 +322,18 @@ void Engine::snapshot_and_learn(PeerNode& p) {
   }
   // Legacy: one shared pass over the neighbours serves the exchange
   // accounting, boundary discovery AND build_candidates (alive list + head
-  // stashed in the scan_* scratch — nothing between here and the candidate
-  // build can change neighbour state within the tick).
-  scan_alive_.clear();
-  scan_head_ = kNoSegment;
-  scan_peer_ = p.id;
+  // stashed in `scan` — nothing between here and the candidate build can
+  // change neighbour state within the tick).
+  scan.alive.clear();
+  scan.head = kNoSegment;
+  scan.owner = p.id;
   int best_boundary = p.known_boundary;
   for (const net::NodeId nb : graph_.neighbors(p.id)) {
     const PeerNode& n = peers_[nb];
     if (!n.alive) continue;
     overhead_.charge_buffer_map_exchange();
-    scan_alive_.push_back(nb);
-    scan_head_ = std::max(scan_head_, n.buffer.max_id());
+    scan.alive.push_back(nb);
+    scan.head = std::max(scan.head, n.buffer.max_id());
     if (config_.discover_via_maps) best_boundary = std::max(best_boundary, n.known_boundary);
   }
   if (best_boundary > p.known_boundary) learn_boundaries(p, best_boundary, sim_.now());
@@ -237,17 +367,18 @@ void Engine::advert_availability(PeerNode& p, std::size_t receivers) {
   p.advertised_map = std::move(current);
 }
 
-std::vector<CandidateSegment> Engine::build_candidates(PeerNode& p, double now) {
-  std::vector<CandidateSegment> out;
+void Engine::build_candidates(PeerNode& p, double now, const NeighborScan& scan,
+                              TickPlan& plan) {
+  std::vector<CandidateSegment>& out = plan.candidates;
   const SegmentId from = p.playback.started() ? p.playback.cursor() : p.start_id;
 
   const bool incremental = availability_.enabled();
   if (!incremental) {
-    GS_CHECK_EQ(scan_peer_, p.id);  // the scan scratch is this tick's
+    GS_CHECK_EQ(scan.owner, p.id);  // the scan scratch is this tick's
   }
   const AvailabilityIndex::View* view = incremental ? &availability_.view(p.id) : nullptr;
-  const SegmentId head = incremental ? view->head : scan_head_;
-  if (head == kNoSegment || head < from) return out;
+  const SegmentId head = incremental ? view->head : scan.head;
+  if (head == kNoSegment || head < from) return;
   const SegmentId to =
       std::min<SegmentId>(head, from + static_cast<SegmentId>(config_.buffer_capacity) - 1);
 
@@ -262,7 +393,7 @@ std::vector<CandidateSegment> Engine::build_candidates(PeerNode& p, double now) 
   // (word-level intersection), which yields the identical candidate list —
   // unsupplied ids produce no CandidateSegment either way.
   const std::vector<net::NodeId>& alive_neighbors =
-      incremental ? view->alive_neighbors : scan_alive_;
+      incremental ? view->alive_neighbors : scan.alive;
   const auto next_candidate = [&](SegmentId at) -> SegmentId {
     if (!incremental) return next_missing(p.received, at);
     const std::size_t pos = util::DynamicBitset::first_set_and_clear(
@@ -277,7 +408,8 @@ std::vector<CandidateSegment> Engine::build_candidates(PeerNode& p, double now) 
     CandidateSegment c;
     c.id = id;
     c.epoch = (boundary != kNoSegment && id > boundary) ? StreamEpoch::kNew : StreamEpoch::kOld;
-    stats_.availability_probes += alive_neighbors.size();
+    // Deferred to the commit phase: build may run on a pool thread.
+    plan.probes += alive_neighbors.size();
     for (const net::NodeId nb : alive_neighbors) {
       const PeerNode& n = peers_[nb];
       if (!n.buffer.contains(id)) continue;
@@ -294,7 +426,6 @@ std::vector<CandidateSegment> Engine::build_candidates(PeerNode& p, double now) 
     }
     if (!c.suppliers.empty()) out.push_back(std::move(c));
   }
-  return out;
 }
 
 bool Engine::issue_one(PeerNode& p, SegmentId id, net::NodeId supplier, double now) {
@@ -305,6 +436,9 @@ bool Engine::issue_one(PeerNode& p, SegmentId id, net::NodeId supplier, double n
     ++stats_.requests_rejected;
     return false;
   }
+  // Parallel sweeps track when each uplink was last committed to, so later
+  // members' speculative plans can detect stale queue-delay reads.
+  if (!dirty_supplier_.empty()) dirty_supplier_[supplier] = ++capacity_commits_;
   overhead_.charge_request(1);
   p.in_budget.spend(1.0);
   p.pending[id] = now + config_.pending_timeout;

@@ -115,7 +115,33 @@ struct EngineConfig {
   /// Peers per tick shard: peers [s*size, (s+1)*size) share one stagger
   /// phase and, under batch_dispatch, one sweep event.  Shared by both
   /// dispatch modes so they produce the same schedule; must be >= 1.
+  /// Under parallel_shards this is also the parallel grain: one sweep's
+  /// members are planned concurrently, so larger shards amortise the
+  /// fork/join cost (scale runs want 128-512).
   std::size_t tick_shard_size = 16;
+  /// Sharded parallel simulation core.  0 = the classic single-threaded
+  /// path.  P >= 1 splits the pending-event set into per-shard queues
+  /// (deliveries routed by target peer id, merged deterministically by
+  /// (time, sequence)), forces batch_dispatch on, and runs every tick
+  /// sweep through a three-phase pipeline on up to P lanes of
+  /// util::global_pool():
+  ///   pre    sequential, member order — every cross-peer-visible write
+  ///          (availability adverts, boundary learning, playback/metrics);
+  ///   plan   parallel, read-only — candidate build + strategy scheduling
+  ///          (the dominant tick cost), speculated against the pre-sweep
+  ///          transfer plane; writes only the member's own rng and slot;
+  ///   commit sequential, member order — requests, capacity commits and
+  ///          counters drain in the deterministic order; a member whose
+  ///          supplier backlog an earlier member changed is re-planned
+  ///          (rng rolled back) against the live plane.
+  /// Pure mechanism like batch_dispatch: fixed-seed metrics are
+  /// bit-identical for every shard count, including 0 (enforced by
+  /// stream_determinism_test); only wall-clock and the shard diagnostics
+  /// change.
+  std::size_t parallel_shards = 0;
+  /// kTokenBucket burst depth in segments (>= 1; 1 degenerates to
+  /// kSharedFifo's serialised spacing).
+  double token_bucket_burst = 4.0;
   /// Incremental availability plane: maintain each peer's merged view of
   /// neighbour availability (per-segment supplier counts, cached head,
   /// cached boundary max) by deltas pushed from deliveries, evictions,
@@ -183,6 +209,16 @@ struct EngineStats {
   /// Full-map / delta adverts sent under delta_maps accounting.
   std::uint64_t full_map_adverts = 0;
   std::uint64_t delta_adverts = 0;
+  /// Sharded-core diagnostics (parallel_shards > 0 only): sweeps run
+  /// through the three-phase pipeline, member ticks planned in the parallel
+  /// phase, and how many of those were re-planned at commit because an
+  /// earlier member's capacity commit invalidated the speculation.
+  std::uint64_t parallel_sweeps = 0;
+  std::uint64_t planned_ticks = 0;
+  std::uint64_t replanned_ticks = 0;
+  /// Events routed into a foreign shard's queue (cross-shard outbox
+  /// traffic; see Simulator::cross_shard_scheduled).
+  std::uint64_t cross_shard_events = 0;
 };
 
 class Engine {
@@ -252,16 +288,71 @@ class Engine {
   void generate_segment(SessionIndex k, double now);
 
   // --- per-tick pipeline ---
+  /// Legacy-mode neighbour scan scratch: the one shared pass of
+  /// snapshot_and_learn leaves the alive neighbours (graph order) and their
+  /// max held id for build_candidates.  Sequential ticks reuse scan_seq_;
+  /// parallel sweeps keep one slot per member so plans can run
+  /// concurrently.
+  struct NeighborScan {
+    std::vector<net::NodeId> alive;
+    SegmentId head = kNoSegment;
+    net::NodeId owner = 0;
+  };
+  /// One tick's speculative plan: the candidate build and the strategy's
+  /// request list, computed in the parallel phase against the pre-sweep
+  /// transfer plane, plus everything needed to commit (or roll back and
+  /// re-plan) deterministically.  Global counters touched by planning are
+  /// deferred here and drained at commit.
+  struct TickPlan {
+    bool live = false;     ///< tick_pre ran (alive non-source member)
+    bool planned = false;  ///< the budget allowed a candidate build
+    util::Rng rng_before;  ///< p.rng before planning (restored on re-plan)
+    /// capacity_commits_ when the plan was derived: commits stamped later
+    /// than this are the ones the plan could not have observed.
+    std::uint64_t stamp = 0;
+    /// The old/new split the strategy planned under (commit charges the
+    /// split stats from here, so they always describe the ctx that was
+    /// actually scheduled).
+    bool split_active = false;
+    SegmentId s1_end = kNoSegment;
+    std::vector<CandidateSegment> candidates;
+    std::vector<ScheduledRequest> requests;
+    std::uint64_t probes = 0;  ///< deferred EngineStats::availability_probes
+  };
+
   void tick(PeerNode& p, double now);
+  /// Phase 1: budget replenish, availability exchange, pending prune,
+  /// playback — every tick effect another peer (or the timeline) can
+  /// observe.  False when the peer does not tick (source / dead).
+  bool tick_pre(PeerNode& p, double now, NeighborScan& scan);
+  /// Phase 2: candidate build + strategy scheduling into `plan`.  Reads
+  /// shared state, writes only `plan` and p.rng — safe to run concurrently
+  /// for distinct peers while nothing mutates.
+  void tick_plan(PeerNode& p, double now, const NeighborScan& scan, TickPlan& plan);
+  /// Phase 3: drains the plan in deterministic order — counters, request
+  /// issue with rejection fallback, capacity commits.  With `validate`, a
+  /// plan whose supplier set was dirtied earlier in the sweep is re-planned
+  /// against the live transfer plane (rng rolled back first).
+  void tick_commit(PeerNode& p, double now, const NeighborScan& scan, TickPlan& plan,
+                   bool validate);
+  /// Could a commit the plan did not observe have changed a queue delay it
+  /// read?  Conservative: any alive neighbour's uplink committed to after
+  /// the plan's stamp counts (only supplier-keyed capacity models can
+  /// conflict — per-link state is requester-local).
+  [[nodiscard]] bool plan_is_stale(const PeerNode& p, const NeighborScan& scan,
+                                   const TickPlan& plan) const;
+  /// The sharded sweep driver: pre in member order, plan on the pool,
+  /// commit in member order (see EngineConfig::parallel_shards).
+  void run_parallel_sweep(const std::vector<std::uint32_t>& members, double now);
   /// Availability exchange bookkeeping + boundary discovery.  Legacy mode
-  /// walks the neighbours once, stashing the alive list and head into
-  /// scan_alive_ / scan_head_ for build_candidates (one shared pass);
+  /// walks the neighbours once into `scan` (one shared pass serving the
+  /// exchange accounting, boundary discovery and build_candidates);
   /// incremental mode reads the maintained view instead.
-  void snapshot_and_learn(PeerNode& p);
+  void snapshot_and_learn(PeerNode& p, NeighborScan& scan);
   /// Charges one availability advert from `p` to its `receivers` alive
   /// neighbours under delta_maps accounting (delta or periodic full map).
   void advert_availability(PeerNode& p, std::size_t receivers);
-  [[nodiscard]] std::vector<CandidateSegment> build_candidates(PeerNode& p, double now);
+  void build_candidates(PeerNode& p, double now, const NeighborScan& scan, TickPlan& plan);
   bool issue_one(PeerNode& p, SegmentId id, net::NodeId supplier, double now);
 
   // --- data path ---
@@ -300,13 +391,19 @@ class Engine {
 
   std::vector<PeerNode> peers_;
 
-  /// Legacy-mode per-tick scratch: the one shared neighbour pass of
-  /// snapshot_and_learn leaves the alive neighbours (graph order) and their
-  /// max held id here for build_candidates, which asserts the owner
-  /// matches (the scratch is only valid within one peer's tick).
-  std::vector<net::NodeId> scan_alive_;
-  SegmentId scan_head_ = kNoSegment;
-  net::NodeId scan_peer_ = 0;
+  /// Sequential tick scratch (single-threaded dispatch paths).
+  NeighborScan scan_seq_;
+  TickPlan plan_seq_;
+  /// Per-member slots for the sharded sweep pipeline (parallel_shards > 0);
+  /// sized to the largest sweep seen and reused.
+  std::vector<NeighborScan> batch_scans_;
+  std::vector<TickPlan> batch_plans_;
+  /// dirty_supplier_[v] = value of capacity_commits_ when v's uplink was
+  /// last committed to (the plan-staleness test compares it against the
+  /// plan's stamp).  Sized only in parallel mode; empty otherwise.
+  std::vector<std::uint64_t> dirty_supplier_;
+  /// Monotone count of capacity commits (parallel mode only).
+  std::uint64_t capacity_commits_ = 0;
 
   std::vector<DebugPoint> debug_series_;
   std::unique_ptr<sim::PeriodicTask> debug_task_;

@@ -66,6 +66,13 @@ void Engine::start_peer_tick(PeerNode& p, bool initial) {
     ticker_ = std::make_unique<sim::BatchTicker>(
         sim_, config_.tau,
         [this](std::uint32_t member, double now) { tick(peers_[member], now); });
+    if (config_.parallel_shards > 0) {
+      // The sharded core takes whole sweeps: pre in member order, plan on
+      // the pool, commit in member order (same per-member semantics).
+      ticker_->set_batch_sweep([this](const std::vector<std::uint32_t>& members, double now) {
+        run_parallel_sweep(members, now);
+      });
+    }
   }
   if (initial) {
     // Initial peers of a shard share the same start time; the shard's
@@ -306,6 +313,7 @@ std::vector<SwitchMetrics> Engine::run() {
       config_.horizon;
   stats_.events_popped = sim_.run_until(stop_at);
   stats_.index_updates = availability_.updates_applied();
+  stats_.cross_shard_events = sim_.cross_shard_scheduled();
 
   // Censor peers that never completed within the horizon, then compute the
   // per-switch overhead ratios from the snapshot deltas.

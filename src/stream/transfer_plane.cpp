@@ -13,6 +13,8 @@ std::string_view to_string(SupplierCapacityModel kind) noexcept {
       return "shared-fifo";
     case SupplierCapacityModel::kPerLink:
       return "per-link";
+    case SupplierCapacityModel::kTokenBucket:
+      return "token-bucket";
   }
   return "unknown";
 }
@@ -35,9 +37,12 @@ class SharedFifoCapacity final : public CapacityModel {
     return uplink_busy_until_[supplier];
   }
 
-  void commit(net::NodeId /*requester*/, net::NodeId supplier, double until) override {
+  void commit(net::NodeId /*requester*/, net::NodeId supplier, double /*start*/,
+              double until) override {
     uplink_busy_until_[supplier] = until;
   }
+
+  [[nodiscard]] bool supplier_shared() const noexcept override { return true; }
 
   void ensure_nodes(std::size_t /*count*/) override {
     // State is the plane's uplink vector, which the plane grows itself.
@@ -62,9 +67,12 @@ class PerLinkCapacity final : public CapacityModel {
     return it == links.end() ? kIdle : it->second;
   }
 
-  void commit(net::NodeId requester, net::NodeId supplier, double until) override {
+  void commit(net::NodeId requester, net::NodeId supplier, double /*start*/,
+              double until) override {
     link_busy_until_[requester][supplier] = until;
   }
+
+  [[nodiscard]] bool supplier_shared() const noexcept override { return false; }
 
   void ensure_nodes(std::size_t count) override {
     if (link_busy_until_.size() < count) link_busy_until_.resize(count);
@@ -75,13 +83,65 @@ class PerLinkCapacity final : public CapacityModel {
   std::vector<std::unordered_map<net::NodeId, double>> link_busy_until_;
 };
 
+/// Token-bucket uplink via the GCRA (virtual scheduling) formulation: per
+/// supplier, `tat` is the theoretical arrival time of the next conforming
+/// transfer and grows by one transmission time per commit; a transfer may
+/// start up to `burst` transmission times *before* tat (the bucket depth).
+/// An uplink idle long enough refills completely — tat trails the clock —
+/// so backlog_end goes to kIdle and a full burst passes with zero queueing.
+class TokenBucketCapacity final : public CapacityModel {
+ public:
+  explicit TokenBucketCapacity(double burst) : burst_(burst) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return to_string(SupplierCapacityModel::kTokenBucket);
+  }
+
+  [[nodiscard]] double backlog_end(net::NodeId /*requester*/,
+                                   net::NodeId supplier) const override {
+    const Bucket& bucket = buckets_[supplier];
+    if (bucket.tat == kIdle) return kIdle;
+    // burst tokens => `burst` conforming back-to-back transfers: the k-th
+    // commit after a full refill puts tat at start + k*tx, so eligibility
+    // tat - (burst-1)*tx crosses `start` exactly when the bucket empties.
+    // burst == 1 degenerates to kSharedFifo's serialised spacing.
+    return bucket.tat - (burst_ - 1.0) * bucket.tx;
+  }
+
+  void commit(net::NodeId /*requester*/, net::NodeId supplier, double start,
+              double until) override {
+    Bucket& bucket = buckets_[supplier];
+    bucket.tx = until - start;
+    // Refill up to the clock (an idle bucket holds a full burst), then
+    // drain one token's worth of credit.
+    bucket.tat = std::max(bucket.tat == kIdle ? start : bucket.tat, start) + bucket.tx;
+  }
+
+  [[nodiscard]] bool supplier_shared() const noexcept override { return true; }
+
+  void ensure_nodes(std::size_t count) override {
+    if (buckets_.size() < count) buckets_.resize(count);
+  }
+
+ private:
+  struct Bucket {
+    double tat = kIdle;  ///< theoretical arrival time of the next transfer
+    double tx = 0.0;     ///< last transmission time (1/outbound_rate)
+  };
+  double burst_;
+  std::vector<Bucket> buckets_;
+};
+
 std::unique_ptr<CapacityModel> make_capacity(SupplierCapacityModel kind,
-                                             std::vector<double>& uplink_busy_until) {
+                                             std::vector<double>& uplink_busy_until,
+                                             double token_bucket_burst) {
   switch (kind) {
     case SupplierCapacityModel::kSharedFifo:
       return std::make_unique<SharedFifoCapacity>(uplink_busy_until);
     case SupplierCapacityModel::kPerLink:
       return std::make_unique<PerLinkCapacity>();
+    case SupplierCapacityModel::kTokenBucket:
+      return std::make_unique<TokenBucketCapacity>(token_bucket_burst);
   }
   GS_CHECK(false) << "unreachable capacity model";
   return nullptr;
@@ -91,14 +151,15 @@ std::unique_ptr<CapacityModel> make_capacity(SupplierCapacityModel kind,
 
 TransferPlane::TransferPlane(sim::Simulator& sim, net::LatencyModel& latency,
                              SupplierCapacityModel kind, double accept_horizon,
-                             DeliveryFn on_delivery)
+                             DeliveryFn on_delivery, double token_bucket_burst)
     : sim_(sim),
       latency_(latency),
       kind_(kind),
       accept_horizon_(accept_horizon),
       on_delivery_(std::move(on_delivery)),
-      capacity_(make_capacity(kind, uplink_busy_until_)) {
+      capacity_(make_capacity(kind, uplink_busy_until_, token_bucket_burst)) {
   GS_CHECK(on_delivery_ != nullptr);
+  GS_CHECK_GE(token_bucket_burst, 1.0);
 }
 
 void TransferPlane::ensure_nodes(std::size_t count) {
@@ -122,7 +183,7 @@ bool TransferPlane::request(PeerNode& requester, const PeerNode& supplier, Segme
     return false;
   }
   const double tx = 1.0 / supplier.outbound_rate;
-  capacity_->commit(requester.id, supplier.id, start + tx);
+  capacity_->commit(requester.id, supplier.id, start, start + tx);
   const double deliver_at =
       start + tx + latency_.jittered_delay_s(requester.id, supplier.id, requester.rng);
   sim_.after(deliver_at - now, *this, requester.id, static_cast<std::uint64_t>(id));
@@ -131,10 +192,23 @@ bool TransferPlane::request(PeerNode& requester, const PeerNode& supplier, Segme
 
 bool TransferPlane::push(PeerNode& from, net::NodeId to, SegmentId id, double now) {
   GS_CHECK_LT(from.id, uplink_busy_until_.size());
-  const double start = std::max(now, uplink_busy_until_[from.id]);
+  // Pushes contend on the pusher's *real* uplink.  Under kSharedFifo that
+  // is the same FIFO the pulls use; under kPerLink the pulls deliberately
+  // bypass it (the relaxed ablation), so the FIFO vector stands in for the
+  // real uplink.  kTokenBucket models the real uplink as the token ledger,
+  // so pushes must draw from that same ledger — two independent ledgers
+  // would let a supplier push and serve pulls at 2x its outbound rate.
+  const bool bucket = kind_ == SupplierCapacityModel::kTokenBucket;
+  const double backlog = bucket ? capacity_->backlog_end(to, from.id)
+                                : uplink_busy_until_[from.id];
+  const double start = std::max(now, backlog);
   if (start - now > accept_horizon_) return false;  // own uplink saturated
   const double tx = 1.0 / from.outbound_rate;
-  uplink_busy_until_[from.id] = start + tx;
+  if (bucket) {
+    capacity_->commit(to, from.id, start, start + tx);
+  } else {
+    uplink_busy_until_[from.id] = start + tx;
+  }
   const double deliver_at = start + tx + latency_.jittered_delay_s(to, from.id, from.rng);
   sim_.after(deliver_at - now, *this, to, static_cast<std::uint64_t>(id));
   return true;

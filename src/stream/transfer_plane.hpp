@@ -34,6 +34,14 @@ enum class SupplierCapacityModel : std::uint8_t {
   /// for the ablation bench: with per-link capacity, supply is abundant,
   /// steady-state lag collapses, and the switch algorithms nearly tie.
   kPerLink,
+  /// Token-bucket uplink (GCRA): the supplier accrues one transfer token
+  /// per 1/outbound_rate seconds up to a burst of
+  /// EngineConfig::token_bucket_burst tokens, and a transfer starts as soon
+  /// as a token is available.  Long-run throughput equals kSharedFifo's,
+  /// but an idle uplink can serve a burst back to back instead of spacing
+  /// every transfer by the transmission time — the shape of real rate
+  /// limiters and shaped last-mile uplinks.
+  kTokenBucket,
 };
 
 /// Canonical name of a capacity model; the single string table shared by
@@ -58,8 +66,16 @@ class CapacityModel {
   [[nodiscard]] virtual double backlog_end(net::NodeId requester,
                                            net::NodeId supplier) const = 0;
 
-  /// Records a transfer occupying the constrained resource until `until`.
-  virtual void commit(net::NodeId requester, net::NodeId supplier, double until) = 0;
+  /// Records a transfer occupying the constrained resource from `start`
+  /// until `until` (`until - start` is the transmission time).
+  virtual void commit(net::NodeId requester, net::NodeId supplier, double start,
+                      double until) = 0;
+
+  /// True when commitments are keyed by the *supplier* (shared uplink
+  /// state), so one requester's commit changes the backlog every other
+  /// requester of that supplier observes.  The sharded tick planner uses
+  /// this to decide whether speculative plans can go stale within a sweep.
+  [[nodiscard]] virtual bool supplier_shared() const noexcept = 0;
 
   /// Grows per-node state to cover node ids < `count` (overlay joins).
   virtual void ensure_nodes(std::size_t count) = 0;
@@ -70,9 +86,11 @@ class TransferPlane final : public sim::EventSink {
   using DeliveryFn = std::function<void(net::NodeId to, SegmentId id)>;
 
   /// `latency` and `sim` must outlive the plane.  `on_delivery` fires when
-  /// a transfer's segment reaches the requester.
+  /// a transfer's segment reaches the requester.  `token_bucket_burst` is
+  /// the kTokenBucket burst depth in segments (ignored by other models).
   TransferPlane(sim::Simulator& sim, net::LatencyModel& latency, SupplierCapacityModel kind,
-                double accept_horizon, DeliveryFn on_delivery);
+                double accept_horizon, DeliveryFn on_delivery,
+                double token_bucket_burst = 4.0);
 
   // Single-home: the capacity model holds a reference into uplink state.
   TransferPlane(const TransferPlane&) = delete;
@@ -83,6 +101,8 @@ class TransferPlane final : public sim::EventSink {
 
   [[nodiscard]] SupplierCapacityModel kind() const noexcept { return kind_; }
   [[nodiscard]] const CapacityModel& capacity() const noexcept { return *capacity_; }
+  /// See CapacityModel::supplier_shared().
+  [[nodiscard]] bool supplier_shared() const noexcept { return capacity_->supplier_shared(); }
 
   /// Estimated queueing delay (seconds from `now`) a request from
   /// `requester` to `supplier` would see; the SupplierView tau(j) seed.
@@ -96,8 +116,9 @@ class TransferPlane final : public sim::EventSink {
   bool request(PeerNode& requester, const PeerNode& supplier, SegmentId id, double now);
 
   /// Submits an unsolicited push of `id` from `from` to `to` on the
-  /// pusher's own uplink FIFO (pushes always contend on the real uplink,
-  /// whichever model governs pulls).  False when the uplink is saturated.
+  /// pusher's own real uplink: the uplink FIFO under kSharedFifo/kPerLink
+  /// (per-link pulls deliberately bypass it), the shared token ledger
+  /// under kTokenBucket.  False when the uplink is saturated.
   bool push(PeerNode& from, net::NodeId to, SegmentId id, double now);
 
   /// Absolute time `v`'s uplink FIFO frees up (inspection/tests).

@@ -1,11 +1,17 @@
 // Fixed-size thread pool for running many independent simulations (trials,
-// sweep points) concurrently.
+// sweep points) concurrently, plus the bounded fork/join primitive the
+// sharded engine core uses inside one simulation.
 //
 // Simulations are deterministic and share nothing, so a plain mutex-guarded
 // task queue is ample: task granularity is whole simulation runs (tens of
-// milliseconds to seconds), making queue contention irrelevant.
+// milliseconds to seconds), making queue contention irrelevant.  run_batch
+// is the exception — it dispatches micro-tasks (per-peer tick planning) —
+// so it self-schedules over an atomic cursor and the *caller participates*,
+// which keeps it deadlock-free even when every pool worker is itself busy
+// inside a simulation that called run_batch.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -49,6 +55,17 @@ class ThreadPool {
   /// complete.  Exceptions from any iteration are rethrown (first one wins).
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
 
+  /// Fork/join batch: runs body(i) for i in [0, n) on at most `lanes`
+  /// executors and blocks until every index completed.  The calling thread
+  /// is one of the lanes — it claims indices itself while waiting — so the
+  /// batch finishes even if no pool worker ever becomes free (the pool may
+  /// be saturated by outer parallel_for simulations that each call
+  /// run_batch).  `lanes <= 1` degenerates to an inline loop.  Index
+  /// assignment to lanes is racy by design; callers must make iterations
+  /// independent (the sharded engine writes disjoint per-index slots).
+  /// Exceptions from any iteration are rethrown in the caller (first wins).
+  void run_batch(std::size_t n, std::size_t lanes, const std::function<void(std::size_t)>& body);
+
  private:
   void worker_loop();
 
@@ -56,6 +73,10 @@ class ThreadPool {
   std::queue<std::function<void()>> tasks_;
   std::mutex mutex_;
   std::condition_variable cv_;
+  /// Helper closures enqueued by run_batch that have not started yet.
+  /// Bounds queue growth when the pool is saturated: a busy pool would
+  /// otherwise accumulate one dead helper per batch, forever.
+  std::atomic<std::size_t> queued_helpers_{0};
   bool stopping_ = false;
 };
 

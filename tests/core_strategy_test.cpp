@@ -101,8 +101,8 @@ TEST(FastSwitch, Fig2Interleaves) {
 TEST(FastSwitch, SplitMatchesClosedForm) {
   Fig2 fig;
   FastSwitchScheduler scheduler;
-  (void)scheduler.schedule(fig.ctx, fig.candidates);
-  const RateSplit& split = scheduler.last_split();
+  RateSplit split{};
+  (void)scheduler.schedule_with_split(fig.ctx, fig.candidates, &split);
   const SplitInput in{5, 5, 10, 10, 7};
   EXPECT_NEAR(split.r1, optimal_r1(in), 1e-9);
 }

@@ -125,6 +125,50 @@ TEST(EventQueueProperty, PooledEventsCancelLikeClosures) {
 /// One (time, member) observation per tick, whichever dispatcher fired it.
 using Observation = std::pair<Time, std::uint32_t>;
 
+TEST(EventQueueProperty, ShardedPopOrderEqualsUnshardedOrder) {
+  // The sharded core's merge contract: however events are distributed over
+  // shard heaps, the pop sequence must equal the single-queue (time,
+  // insertion-sequence) order.  Random times (with forced ties), random
+  // shard targets, random cancellations — mirrored into an unsharded
+  // reference queue.
+  util::Rng rng(4242);
+  for (int round = 0; round < 20; ++round) {
+    EventQueue sharded;
+    sharded.set_shard_count(1 + static_cast<std::size_t>(rng.uniform_int(1, 6)));
+    EventQueue reference;
+    std::vector<int> sharded_fired;
+    std::vector<int> reference_fired;
+    std::vector<EventId> sharded_ids;
+    std::vector<EventId> reference_ids;
+    for (int tag = 0; tag < 200; ++tag) {
+      const Time at = std::floor(rng.uniform(0.0, 20.0));  // dense ties
+      const auto shard =
+          static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(sharded.shard_count()) - 1));
+      sharded_ids.push_back(sharded.schedule_on(shard, at, [tag, &sharded_fired] {
+        sharded_fired.push_back(tag);
+      }));
+      reference_ids.push_back(reference.schedule(at, [tag, &reference_fired] {
+        reference_fired.push_back(tag);
+      }));
+    }
+    for (int k = 0; k < 30; ++k) {
+      const auto victim = static_cast<std::size_t>(rng.uniform_int(0, 199));
+      EXPECT_EQ(sharded.cancel(sharded_ids[victim]), reference.cancel(reference_ids[victim]));
+    }
+    EXPECT_EQ(sharded.size(), reference.size());
+    while (!reference.empty()) {
+      ASSERT_FALSE(sharded.empty());
+      EXPECT_EQ(sharded.next_time(), reference.next_time());
+      std::size_t from_shard = 99;
+      sharded.pop_and_run(&from_shard);
+      EXPECT_LT(from_shard, sharded.shard_count());
+      reference.pop_and_run();
+    }
+    EXPECT_TRUE(sharded.empty());
+    EXPECT_EQ(sharded_fired, reference_fired) << "shard layout changed execution order";
+  }
+}
+
 TEST(BatchTickerProperty, SweepsMembersInArmOrderRegardlessOfInsertionInterleaving) {
   util::Rng rng(11);
   for (int trial = 0; trial < 30; ++trial) {

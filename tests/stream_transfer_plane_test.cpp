@@ -19,9 +19,11 @@ struct PlaneFixture {
   TransferPlane plane;
   std::vector<PeerNode> peers;
 
-  explicit PlaneFixture(SupplierCapacityModel kind, double accept_horizon = 2.0)
+  explicit PlaneFixture(SupplierCapacityModel kind, double accept_horizon = 2.0,
+                        double token_bucket_burst = 4.0)
       : plane(sim, latency, kind, accept_horizon,
-              [this](net::NodeId to, SegmentId id) { delivered.emplace_back(to, id); }) {
+              [this](net::NodeId to, SegmentId id) { delivered.emplace_back(to, id); },
+              token_bucket_burst) {
     peers.resize(4);
     for (net::NodeId v = 0; v < 4; ++v) {
       PeerNode& p = peers[v];
@@ -110,6 +112,75 @@ TEST(TransferPlane, PushRejectsSaturatedUplink) {
   ASSERT_TRUE(f.plane.push(f.peers[2], 0, 50, 0.0));
   ASSERT_TRUE(f.plane.push(f.peers[2], 1, 51, 0.0));
   EXPECT_FALSE(f.plane.push(f.peers[2], 3, 52, 0.0));
+}
+
+TEST(TokenBucket, BurstPassesAtZeroDelayThenRateLimits) {
+  PlaneFixture f(SupplierCapacityModel::kTokenBucket, /*accept_horizon=*/2.0, /*burst=*/3.0);
+  EXPECT_EQ(f.plane.capacity().name(), "token-bucket");
+  EXPECT_TRUE(f.plane.supplier_shared());
+  // A full bucket (3 tokens at rate 10/s) serves three transfers back to
+  // back with no queueing...
+  for (int k = 0; k < 3; ++k) {
+    EXPECT_DOUBLE_EQ(f.plane.queue_delay(0, 2, 0.0), 0.0) << "token " << k;
+    ASSERT_TRUE(f.plane.request(f.peers[0], f.peers[2], 100 + k, 0.0));
+  }
+  // ...then the next transfers space at one token per tx = 0.1 s.
+  EXPECT_DOUBLE_EQ(f.plane.queue_delay(1, 2, 0.0), 0.1)
+      << "the bucket is supplier-shared: a different requester sees it empty";
+  ASSERT_TRUE(f.plane.request(f.peers[1], f.peers[2], 103, 0.0));
+  EXPECT_DOUBLE_EQ(f.plane.queue_delay(1, 2, 0.0), 0.2);
+  // An idle stretch refills the bucket: at t=1.0 the backlog is gone.
+  EXPECT_DOUBLE_EQ(f.plane.queue_delay(0, 2, 1.0), 0.0);
+  // The uplink FIFO is untouched by token-bucket pulls (push path only).
+  EXPECT_EQ(f.plane.uplink_busy_until(2), CapacityModel::kIdle);
+  f.sim.run_all();
+  EXPECT_EQ(f.delivered.size(), 4u);
+}
+
+TEST(TokenBucket, BurstOneDegeneratesToSharedFifoSpacing) {
+  PlaneFixture fifo(SupplierCapacityModel::kSharedFifo);
+  PlaneFixture bucket(SupplierCapacityModel::kTokenBucket, 2.0, /*burst=*/1.0);
+  for (int k = 0; k < 3; ++k) {
+    EXPECT_DOUBLE_EQ(fifo.plane.queue_delay(0, 2, 0.0), bucket.plane.queue_delay(0, 2, 0.0))
+        << "transfer " << k;
+    ASSERT_TRUE(fifo.plane.request(fifo.peers[0], fifo.peers[2], 100 + k, 0.0));
+    ASSERT_TRUE(bucket.plane.request(bucket.peers[0], bucket.peers[2], 100 + k, 0.0));
+  }
+  EXPECT_DOUBLE_EQ(fifo.plane.queue_delay(1, 2, 0.0), 0.3);
+  EXPECT_DOUBLE_EQ(bucket.plane.queue_delay(1, 2, 0.0), 0.3);
+}
+
+TEST(TokenBucket, AcceptHorizonBoundsTheBurstDebt) {
+  PlaneFixture f(SupplierCapacityModel::kTokenBucket, /*accept_horizon=*/0.15, /*burst=*/2.0);
+  ASSERT_TRUE(f.plane.request(f.peers[0], f.peers[2], 100, 0.0));
+  ASSERT_TRUE(f.plane.request(f.peers[0], f.peers[2], 101, 0.0));  // bucket empty
+  ASSERT_TRUE(f.plane.request(f.peers[0], f.peers[2], 102, 0.0));  // 0.1 s debt
+  // 0.2 s of token debt exceeds the 0.15 s horizon: refused, no commit.
+  EXPECT_FALSE(f.plane.request(f.peers[1], f.peers[2], 103, 0.0));
+  EXPECT_DOUBLE_EQ(f.plane.queue_delay(1, 2, 0.0), 0.2);
+  f.sim.run_all();
+  EXPECT_EQ(f.delivered.size(), 3u);
+}
+
+TEST(TokenBucket, PushAndPullShareOneTokenLedger) {
+  // A supplier must not serve pulls at full rate while also pushing at
+  // full rate: pushes draw from the same bucket as pulls.
+  PlaneFixture f(SupplierCapacityModel::kTokenBucket, /*accept_horizon=*/2.0, /*burst=*/2.0);
+  ASSERT_TRUE(f.plane.push(f.peers[2], 0, 50, 0.0));
+  ASSERT_TRUE(f.plane.push(f.peers[2], 1, 51, 0.0));  // bucket drained
+  EXPECT_DOUBLE_EQ(f.plane.queue_delay(0, 2, 0.0), 0.1)
+      << "a pull after two pushes must see the token debt";
+  ASSERT_TRUE(f.plane.request(f.peers[0], f.peers[2], 52, 0.0));
+  EXPECT_DOUBLE_EQ(f.plane.queue_delay(1, 2, 0.0), 0.2);
+  // The FIFO vector is untouched: the ledger is the bucket for both paths.
+  EXPECT_EQ(f.plane.uplink_busy_until(2), CapacityModel::kIdle);
+  f.sim.run_all();
+  EXPECT_EQ(f.delivered.size(), 3u);
+}
+
+TEST(TransferPlane, SupplierSharedReflectsCapacityKeying) {
+  EXPECT_TRUE(PlaneFixture(SupplierCapacityModel::kSharedFifo).plane.supplier_shared());
+  EXPECT_FALSE(PlaneFixture(SupplierCapacityModel::kPerLink).plane.supplier_shared());
 }
 
 TEST(TransferPlane, DeliveryIncludesTransmissionAndLatency) {

@@ -6,6 +6,7 @@
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 
 #include "util/csv.hpp"
 #include "util/flags.hpp"
@@ -132,6 +133,54 @@ TEST(ThreadPool, ManyMoreTasksThanThreads) {
   int expected = 0;
   for (int i = 0; i < 1000; ++i) expected += i % 7;
   EXPECT_EQ(sum.load(), expected);
+}
+
+TEST(ThreadPool, RunBatchCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(200);
+  pool.run_batch(200, 4, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, RunBatchSingleLaneRunsInline) {
+  ThreadPool pool(4);
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen(16);
+  pool.run_batch(16, 1, [&](std::size_t i) { seen[i] = std::this_thread::get_id(); });
+  for (const auto& id : seen) EXPECT_EQ(id, caller);
+}
+
+TEST(ThreadPool, RunBatchZeroIterations) {
+  ThreadPool pool(2);
+  pool.run_batch(0, 4, [](std::size_t) { FAIL() << "must not run"; });
+}
+
+TEST(ThreadPool, RunBatchPropagatesFirstError) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.run_batch(50, 4,
+                              [](std::size_t i) {
+                                if (i == 13) throw std::runtime_error("unlucky");
+                              }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, RunBatchInsideSaturatedPoolCannotDeadlock) {
+  // Every worker is busy inside a parallel_for iteration that itself calls
+  // run_batch — the sharded engine under an experiment sweep.  The caller
+  // lane must drain each batch even though no worker is ever free.
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  pool.parallel_for(4, [&](std::size_t) {
+    pool.run_batch(32, 4, [&](std::size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 4 * 32);
+}
+
+TEST(ThreadPool, RunBatchMoreLanesThanWork) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(3);
+  pool.run_batch(3, 16, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
 TEST(Logging, ParseLevels) {
