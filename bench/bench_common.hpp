@@ -24,7 +24,12 @@ struct BenchOptions {
   bool batch_dispatch = false;
   bool incremental_availability = false;
   bool delta_maps = false;
+  bool windowed_availability = false;
   std::size_t parallel_shards = 0;
+  /// 0 = keep the engine default; ablation benches pass --tick-shard-size
+  /// to exercise sweep granularity (and super-batching under lockstep)
+  /// without recompiling.
+  std::size_t tick_shard_size = 0;
   std::string capacity_model = "shared-fifo";
 
   /// Applies the engine-level options to a run configuration.  Every bench
@@ -32,8 +37,11 @@ struct BenchOptions {
   /// uniformly across the suite.
   void apply_engine(exp::Config& config) const {
     config.enable_batch_dispatch(batch_dispatch);
-    config.enable_incremental_availability(incremental_availability || delta_maps, delta_maps);
+    config.enable_incremental_availability(
+        incremental_availability || delta_maps || windowed_availability, delta_maps);
+    config.enable_windowed_availability(windowed_availability);
     config.enable_parallel_shards(parallel_shards);
+    if (tick_shard_size > 0) config.engine.tick_shard_size = tick_shard_size;
     config.engine.supplier_capacity = exp::capacity_from_string(capacity_model);
   }
 };
@@ -53,9 +61,15 @@ inline bool parse_bench_flags(int argc, char** argv, BenchOptions& options,
   flags.define_bool("delta-maps", false,
                     "charge availability gossip as buffer-map deltas (implies "
                     "--incremental-availability; lowers the overhead metric)");
+  flags.define_bool("windowed-availability", false,
+                    "sliding supplier-count windows anchored at the playback cursor "
+                    "(implies --incremental-availability; identical metrics, "
+                    "O(buffer) per-view memory)");
   flags.define_int("parallel-shards", 0,
                    "sharded parallel core: plan lanes / event-queue shards "
                    "(identical metrics at any count; 0 = sequential)");
+  flags.define_int("tick-shard-size", 0,
+                   "peers per tick shard / sweep group (0 = engine default)");
   flags.define("capacity-model", "shared-fifo",
                "supplier capacity model: shared-fifo|per-link|token-bucket");
   flags.define("csv", "", "optional CSV output path");
@@ -69,7 +83,9 @@ inline bool parse_bench_flags(int argc, char** argv, BenchOptions& options,
   options.batch_dispatch = flags.get_bool("batch-dispatch");
   options.incremental_availability = flags.get_bool("incremental-availability");
   options.delta_maps = flags.get_bool("delta-maps");
+  options.windowed_availability = flags.get_bool("windowed-availability");
   options.parallel_shards = static_cast<std::size_t>(flags.get_int("parallel-shards"));
+  options.tick_shard_size = static_cast<std::size_t>(flags.get_int("tick-shard-size"));
   options.capacity_model = flags.get("capacity-model");
 
   std::string list = flags.get_bool("quick") ? "100,500" : flags.get("sizes");

@@ -316,6 +316,62 @@ BENCHMARK(BM_ShardedDispatch)
     ->Args({100000, 4})
     ->Unit(benchmark::kMillisecond);
 
+// Delivery-drain scaling: the BM_ShardedDispatch configuration with the
+// delivery path isolated — sequential (shards=0, inline delivery pops) vs
+// the sharded core whose batched delivery drain marks buffers in a
+// parallel wave and merges availability deltas per owning shard, with
+// same-timestamp sweeps super-batched.  The rows of a size share the seed
+// and produce bit-identical metrics (stream_determinism_test's
+// ParallelDelivery suite enforces that); the wall-clock delta plus the
+// drain counters (delivery_batches / delta_journal_merges /
+// superbatch_sweeps) report how much of the former sequential remainder
+// the wave absorbed.  Emit BENCH_*.json via
+//   bench_micro_core --benchmark_filter=BM_DeliveryDrain
+//     --benchmark_out=BENCH_delivery_drain.json --benchmark_out_format=json
+void BM_DeliveryDrain(benchmark::State& state) {
+  const auto nodes = static_cast<std::size_t>(state.range(0));
+  const auto shards = static_cast<std::size_t>(state.range(1));
+  std::uint64_t delivered = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t merges = 0;
+  std::uint64_t superbatches = 0;
+  std::uint64_t runs = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    gs::exp::Config config =
+        gs::exp::Config::paper_static(nodes, gs::exp::AlgorithmKind::kFast, 1);
+    config.enable_batch_dispatch(true);
+    config.enable_incremental_availability(true);
+    config.enable_parallel_shards(shards);
+    config.engine.tick_shard_size = 256;   // the scale grain (see README)
+    config.engine.horizon = nodes >= 100000 ? 5.0 : 10.0;
+    config.engine.history_seconds = nodes >= 100000 ? 20.0 : 30.0;
+    auto engine = gs::exp::make_engine(config);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(engine->run());
+    delivered += engine->stats().segments_delivered;
+    batches += engine->stats().delivery_batches;
+    merges += engine->stats().delta_journal_merges;
+    superbatches += engine->stats().superbatch_sweeps;
+    ++runs;
+  }
+  state.counters["delivered"] =
+      benchmark::Counter(static_cast<double>(delivered) / static_cast<double>(runs));
+  state.counters["delivery_batches"] =
+      benchmark::Counter(static_cast<double>(batches) / static_cast<double>(runs));
+  state.counters["delta_journal_merges"] =
+      benchmark::Counter(static_cast<double>(merges) / static_cast<double>(runs));
+  state.counters["superbatch_sweeps"] =
+      benchmark::Counter(static_cast<double>(superbatches) / static_cast<double>(runs));
+}
+BENCHMARK(BM_DeliveryDrain)
+    ->ArgNames({"peers", "shards"})
+    ->Args({10000, 0})
+    ->Args({10000, 4})
+    ->Args({100000, 0})
+    ->Args({100000, 4})
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
 BENCHMARK_MAIN();

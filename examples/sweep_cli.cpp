@@ -60,10 +60,20 @@ int main(int argc, char** argv) {
                     "charge availability gossip as buffer-map deltas (implies "
                     "--incremental-availability; lowers the overhead metric)");
   flags.define_int("map-refresh", 10, "adverts between full-map refreshes under --delta-maps");
+  flags.define_bool("windowed-availability", false,
+                    "sliding supplier-count windows anchored at the playback cursor "
+                    "(implies --incremental-availability; identical metrics, "
+                    "O(buffer) per-view memory)");
   flags.define_int("tick-shard", 16, "peers per tick shard (phase group; both dispatch modes)");
   flags.define_int("parallel-shards", 0,
                    "sharded parallel core: plan lanes / event-queue shards "
                    "(identical metrics at any count; 0 = sequential)");
+  flags.define_bool("sequential-delivery", false,
+                    "disable the parallel delivery wave of the sharded core "
+                    "(ablation; identical metrics, inline delivery pops)");
+  flags.define_bool("print-diagnostics", false,
+                    "run one fast-algorithm trial per size and print the engine "
+                    "diagnostics (events, probes, shard/drain counters)");
   flags.define_bool("push", false, "enable GridMedia-style fresh-segment push");
   flags.define_int("push-fanout", 2, "push fanout when --push");
   flags.define("csv", "", "write the comparison table to this CSV");
@@ -89,8 +99,10 @@ int main(int argc, char** argv) {
       flags.get_bool("incremental-availability") || flags.get_bool("delta-maps"),
       flags.get_bool("delta-maps"));
   base.engine.map_refresh_period = static_cast<std::size_t>(flags.get_int("map-refresh"));
+  base.enable_windowed_availability(flags.get_bool("windowed-availability"));
   base.engine.tick_shard_size = static_cast<std::size_t>(flags.get_int("tick-shard"));
   base.enable_parallel_shards(static_cast<std::size_t>(flags.get_int("parallel-shards")));
+  base.engine.parallel_delivery = !flags.get_bool("sequential-delivery");
   base.engine.push_fresh_segments = flags.get_bool("push");
   base.engine.push_fanout = static_cast<std::size_t>(flags.get_int("push-fanout"));
 
@@ -101,6 +113,30 @@ int main(int argc, char** argv) {
   gs::exp::print_times_table("custom sweep: finishing / preparing times", points);
   gs::exp::print_switch_reduction("custom sweep: switch time and reduction", points);
   gs::exp::print_overhead("custom sweep: communication overhead", points);
+
+  if (flags.get_bool("print-diagnostics")) {
+    std::printf("\nengine diagnostics (one fast-algorithm trial per size)\n");
+    std::printf("%8s %12s %12s %10s %9s %9s %11s %10s %12s %11s\n", "peers", "events",
+                "probes", "idx_upd", "sweeps", "replan", "cross_shard", "dlv_batch",
+                "journal_mrg", "superbatch");
+    for (const std::size_t n : sizes) {
+      gs::exp::Config config = base;
+      config.node_count = n;
+      config.algorithm = gs::exp::AlgorithmKind::kFast;
+      const gs::exp::RunResult result = gs::exp::run_once(config);
+      const gs::stream::EngineStats& s = result.stats;
+      std::printf("%8zu %12llu %12llu %10llu %9llu %9llu %11llu %10llu %12llu %11llu\n", n,
+                  static_cast<unsigned long long>(s.events_popped),
+                  static_cast<unsigned long long>(s.availability_probes),
+                  static_cast<unsigned long long>(s.index_updates),
+                  static_cast<unsigned long long>(s.parallel_sweeps),
+                  static_cast<unsigned long long>(s.replanned_ticks),
+                  static_cast<unsigned long long>(s.cross_shard_events),
+                  static_cast<unsigned long long>(s.delivery_batches),
+                  static_cast<unsigned long long>(s.delta_journal_merges),
+                  static_cast<unsigned long long>(s.superbatch_sweeps));
+    }
+  }
   if (!flags.get("csv").empty()) {
     gs::exp::write_comparison_csv(flags.get("csv"), points);
     std::printf("\nwrote %s\n", flags.get("csv").c_str());

@@ -79,6 +79,9 @@ void Config::validate() const {
   if (engine.delta_maps && !engine.incremental_availability) {
     throw std::invalid_argument("delta_maps requires incremental_availability");
   }
+  if (engine.windowed_availability && !engine.incremental_availability) {
+    throw std::invalid_argument("windowed_availability requires incremental_availability");
+  }
   if (engine.map_refresh_period == 0) {
     throw std::invalid_argument("map_refresh_period must be >= 1");
   }

@@ -73,6 +73,16 @@ struct Config {
     engine.delta_maps = on && delta;
   }
 
+  /// Turns on windowed availability views (`--windowed-availability`):
+  /// supplier counts keyed on a sliding window anchored at the playback
+  /// cursor, bounding per-view memory at O(buffer_capacity).  Implies the
+  /// incremental availability plane.  Pure mechanism: fixed-seed metrics
+  /// are bit-identical either way.
+  void enable_windowed_availability(bool on = true) {
+    engine.windowed_availability = on;
+    if (on) engine.incremental_availability = true;
+  }
+
   /// Turns on the sharded parallel simulation core with `shards` plan
   /// lanes / event-queue shards (`--parallel-shards`; 0 = sequential).
   /// Pure mechanism: fixed-seed metrics are bit-identical at every shard

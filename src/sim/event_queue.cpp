@@ -138,6 +138,41 @@ Time EventQueue::pop_and_run(std::size_t* shard_out) {
   return entry.at;
 }
 
+bool EventQueue::top_is_batchable() {
+  const Entry& head = heaps_[top_shard()].front();
+  return head.sink != nullptr && head.sink->batchable();
+}
+
+std::size_t EventQueue::pop_batch(Time limit, std::vector<PooledBatchItem>& out,
+                                  EventSink** sink_out) {
+  GS_CHECK(!empty());
+  out.clear();
+  std::size_t shard = top_shard();
+  EventSink* const sink = heaps_[shard].front().sink;
+  GS_CHECK(sink != nullptr);
+  const bool across_times = sink->batch_across_times();
+  const Time first_at = heaps_[shard].front().at;
+  for (;;) {
+    std::vector<Entry>& heap = heaps_[shard];
+    out.push_back({heap.front().at, heap.front().a, heap.front().b});
+    std::pop_heap(heap.begin(), heap.end(), Later{});
+    heap.pop_back();
+    --live_;
+    cached_top_ = kNoShard;
+    if (out.size() >= kMaxBatch || empty()) break;
+    // Extend only while the *global* head continues the run: same sink,
+    // within the horizon, and (unless the sink allows it) the same
+    // timestamp.  Stopping at the first mismatch keeps the batch a prefix
+    // of the canonical pop order.
+    shard = top_shard();
+    const Entry& next = heaps_[shard].front();
+    if (next.sink != sink || next.at > limit) break;
+    if (!across_times && next.at != first_at) break;
+  }
+  *sink_out = sink;
+  return out.size();
+}
+
 void EventQueue::clear() noexcept {
   for (std::vector<Entry>& heap : heaps_) heap.clear();
   cancelled_.clear();

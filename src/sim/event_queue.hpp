@@ -37,13 +37,46 @@ using Time = double;
 /// Identifies a scheduled event for cancellation.
 using EventId = std::uint64_t;
 
+/// One pooled entry of a batched pop: its fire time plus the two payload
+/// words.  pop_batch hands the sink a contiguous run of these.
+struct PooledBatchItem {
+  Time at = 0.0;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+};
+
 /// Receiver of pooled plain-struct events.  The two payload words are
 /// whatever the scheduler packed (e.g. TransferPlane packs the requester
 /// node id and the segment id of a delivery).
+///
+/// A sink may additionally opt into *batched* pops (see
+/// EventQueue::pop_batch): a maximal run of consecutive — in global
+/// (time, sequence) order — pooled entries sharing this sink is then
+/// delivered through one on_batch call instead of per-entry on_event
+/// calls.  Batching never reorders anything; it only changes how many
+/// entries one dispatch hands over, which is what lets the engine drain a
+/// whole delivery wave (or a super-batch of tick sweeps) in one pass.
 class EventSink {
  public:
   virtual ~EventSink() = default;
   virtual void on_event(std::uint64_t a, std::uint64_t b) = 0;
+
+  /// Opt-in to batched pops.  A batchable sink must process on_batch items
+  /// in order and honour each item's own fire time (the driver's clock is
+  /// parked at the *last* item's time for the duration of the batch).
+  [[nodiscard]] virtual bool batchable() const noexcept { return false; }
+  /// When false (default) a batch only spans entries with one identical
+  /// timestamp.  A sink may return true ONLY if processing its events
+  /// schedules nothing: with nothing new entering the queue, a run of
+  /// consecutive heads stays the exact pop sequence even across distinct
+  /// times (the engine's delivery drain qualifies; tick sweeps do not —
+  /// they schedule re-arms and transfers).
+  [[nodiscard]] virtual bool batch_across_times() const noexcept { return false; }
+  /// Processes a batched run in order.  The default loops on_event, which
+  /// is byte-for-byte the unbatched dispatch.
+  virtual void on_batch(const PooledBatchItem* items, std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) on_event(items[i].a, items[i].b);
+  }
 };
 
 class EventQueue {
@@ -89,6 +122,22 @@ class EventQueue {
   /// popped from.
   Time pop_and_run(std::size_t* shard_out = nullptr);
 
+  /// True when the next entry to pop is a pooled event whose sink opted
+  /// into batched pops; requires !empty().
+  [[nodiscard]] bool top_is_batchable();
+
+  /// Pops the maximal batchable run at the head of the queue WITHOUT
+  /// running it: starting from the current head (which must satisfy
+  /// top_is_batchable()), consecutive global-order heads are drained into
+  /// `out` while they are pooled entries of the same sink, fire no later
+  /// than `limit`, and — unless the sink batches across times — share the
+  /// first entry's timestamp.  Returns the number of entries popped (>= 1)
+  /// and stores the common sink in `sink_out`; the caller dispatches the
+  /// run via sink->on_batch.  The run is exactly a prefix of the sequence
+  /// pop_and_run would produce, so dispatching it in order preserves every
+  /// determinism guarantee.
+  std::size_t pop_batch(Time limit, std::vector<PooledBatchItem>& out, EventSink** sink_out);
+
   /// Drops all pending events.
   void clear() noexcept;
 
@@ -118,6 +167,10 @@ class EventQueue {
   [[nodiscard]] std::size_t top_shard();
 
   static constexpr std::size_t kNoShard = static_cast<std::size_t>(-1);
+  /// pop_batch scratch bound: correctness never depends on where a run is
+  /// cut (the remainder simply forms the next batch), so this only caps
+  /// the caller's scratch memory.
+  static constexpr std::size_t kMaxBatch = 4096;
 
   /// One binary heap per shard; the unsharded queue is the 1-shard case.
   std::vector<std::vector<Entry>> heaps_;

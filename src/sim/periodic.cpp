@@ -61,7 +61,7 @@ std::size_t BatchTicker::add_group(Time first) {
 
 void BatchTicker::add_member(std::size_t group, std::uint32_t member) {
   GS_CHECK_LT(group, groups_.size());
-  GS_CHECK(group != sweeping_) << "cannot mutate a group mid-sweep";
+  GS_CHECK(!groups_[group].sweeping) << "cannot mutate a group mid-sweep";
   Group& g = groups_[group];
   GS_CHECK(g.pending != 0) << "group went dormant; create a new one";
   g.members.push_back(member);
@@ -69,7 +69,7 @@ void BatchTicker::add_member(std::size_t group, std::uint32_t member) {
 
 void BatchTicker::remove_member(std::size_t group, std::uint32_t member) {
   GS_CHECK_LT(group, groups_.size());
-  GS_CHECK(group != sweeping_) << "cannot mutate a group mid-sweep";
+  GS_CHECK(!groups_[group].sweeping) << "cannot mutate a group mid-sweep";
   auto& members = groups_[group].members;
   const auto it = std::find(members.begin(), members.end(), member);
   GS_CHECK(it != members.end());
@@ -93,7 +93,7 @@ void BatchTicker::on_event(std::uint64_t a, std::uint64_t /*b*/) {
   // Index access throughout: a sweep that creates *other* groups (joiner
   // singletons) may reallocate groups_; mutating this group's own member
   // list mid-sweep is rejected by add_member/remove_member.
-  sweeping_ = index;
+  groups_[index].sweeping = true;
   if (batch_sweep_) {
     // Hand the callback a stable copy: a sweep that creates other groups
     // (joiner singletons) may reallocate groups_, which would dangle a
@@ -106,11 +106,46 @@ void BatchTicker::on_event(std::uint64_t a, std::uint64_t /*b*/) {
       sweep_(groups_[index].members[i], now);
     }
   }
-  sweeping_ = static_cast<std::size_t>(-1);
+  groups_[index].sweeping = false;
   Group& group = groups_[index];
   if (group.members.empty()) return;  // dormant: every member was removed
   group.next = now + period_;
   group.pending = sim_.at(group.next, *this, a, 0);
+}
+
+void BatchTicker::on_batch(const PooledBatchItem* items, std::size_t count) {
+  if (count <= 1 || !batch_sweep_) {
+    // Per-group dispatch: byte-for-byte the unbatched pop sequence.
+    for (std::size_t i = 0; i < count; ++i) on_event(items[i].a, items[i].b);
+    return;
+  }
+  // Super-batch: every item is a group firing at the same timestamp
+  // (batchable sinks without batch_across_times never span times).
+  // Concatenating the member lists in item order and sweeping once equals
+  // the per-group sweeps: member order is preserved, and the sweep
+  // callback (the engine's wave pipeline) re-derives any member state an
+  // earlier member's commit invalidated, exactly as it does across waves
+  // of one group.  The re-arms collapse to the end of the run; only
+  // continuous-time transfer events are scheduled during sweeps, so the
+  // collapse cannot flip any cross-event ordering.
+  ++superbatches_;
+  const Time now = groups_[static_cast<std::size_t>(items[0].a)].next;
+  batch_scratch_.clear();
+  for (std::size_t i = 0; i < count; ++i) {
+    Group& group = groups_[static_cast<std::size_t>(items[i].a)];
+    group.pending = 0;
+    group.sweeping = true;
+    batch_scratch_.insert(batch_scratch_.end(), group.members.begin(), group.members.end());
+  }
+  batch_sweep_(batch_scratch_, now);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto index = static_cast<std::size_t>(items[i].a);
+    Group& group = groups_[index];
+    group.sweeping = false;
+    if (group.members.empty()) continue;  // dormant: every member was removed
+    group.next = now + period_;
+    group.pending = sim_.at(group.next, *this, items[i].a, 0);
+  }
 }
 
 }  // namespace gs::sim

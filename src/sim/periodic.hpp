@@ -66,6 +66,20 @@ class PeriodicTask {
 ///     event can land inside that run (only deliveries are scheduled while
 ///     a sweep executes, and they target continuous, strictly later
 ///     times), so the collapse preserves every cross-event ordering.
+///
+/// Under batched pops (Simulator::enable_batch_pop) the ticker additionally
+/// *super-batches*: a run of groups firing at the same timestamp arrives as
+/// one on_batch call, and with a whole-group BatchSweep installed their
+/// member lists are concatenated (item order, members in add order) into a
+/// SINGLE sweep — one pre/plan/commit pipeline pass covers every tied group
+/// instead of one fork/join per group.  This reproduces the per-group
+/// outcome exactly: member order is preserved, the sweep callback re-plans
+/// any member whose speculation an earlier member invalidated, and the
+/// groups' re-arms collapse to the end of the super-batch by the same
+/// continuous-delivery-times argument that justifies the per-group re-arm
+/// collapse above.  Lockstep configurations (no tick stagger) put
+/// N/tick_shard_size groups at every period boundary, so this is where the
+/// sweep dispatch cost of the lockstep scale runs goes.
 class BatchTicker final : public EventSink {
  public:
   /// `sweep(member, now)` is invoked once per member per period.
@@ -107,15 +121,28 @@ class BatchTicker final : public EventSink {
   /// True until the group fires with no members (then it stops re-arming).
   [[nodiscard]] bool group_live(std::size_t group) const;
 
+  /// Same-timestamp group runs merged into one concatenated sweep
+  /// (batched-pop dispatch with a BatchSweep installed only).
+  [[nodiscard]] std::uint64_t superbatch_count() const noexcept { return superbatches_; }
+
+  /// Batched pops opt-in: same-time runs only (sweeps schedule re-arms and
+  /// transfers, so a batch must not span timestamps).
+  [[nodiscard]] bool batchable() const noexcept override { return true; }
+
  private:
   struct Group {
     Time next = 0.0;
     EventId pending = 0;
     std::vector<std::uint32_t> members;
+    /// Guard: a sweep callback cannot mutate a member list being iterated.
+    bool sweeping = false;
   };
 
   /// Sweeps group `a` at its fire time, then re-arms it.
   void on_event(std::uint64_t a, std::uint64_t b) override;
+  /// Super-batch: sweeps a same-timestamp run of groups as one
+  /// concatenated BatchSweep pass, then re-arms each group in run order.
+  void on_batch(const PooledBatchItem* items, std::size_t count) override;
 
   Simulator& sim_;
   Time period_;
@@ -124,9 +151,7 @@ class BatchTicker final : public EventSink {
   /// Stable member-list copy handed to batch_sweep_ (reused capacity).
   std::vector<std::uint32_t> batch_scratch_;
   std::vector<Group> groups_;
-  /// Group currently being swept (checked so a sweep callback cannot
-  /// mutate the member list it is iterating); npos when idle.
-  std::size_t sweeping_ = static_cast<std::size_t>(-1);
+  std::uint64_t superbatches_ = 0;
 };
 
 }  // namespace gs::sim

@@ -41,6 +41,17 @@ class Simulator {
   void enable_shards(std::size_t shards, ShardRouter router);
   [[nodiscard]] std::size_t shard_count() const noexcept { return queue_.shard_count(); }
 
+  /// Batched pops: when enabled, a maximal run of consecutive pooled
+  /// events whose sink opted in (EventSink::batchable) is dispatched as
+  /// ONE on_batch call instead of per-event on_event calls.  The run is
+  /// exactly a prefix of the canonical pop order, so execution semantics
+  /// are unchanged; only dispatch granularity grows (the engine's parallel
+  /// delivery drain and super-batched tick sweeps ride on this).  During a
+  /// batch the clock is parked at the *last* item's time; batchable sinks
+  /// use each item's own `at` for per-item time semantics.
+  void enable_batch_pop(bool on) { batch_pop_ = on; }
+  [[nodiscard]] bool batch_pop_enabled() const noexcept { return batch_pop_; }
+
   /// Schedules at an absolute time; must not be in the past.
   EventId at(Time when, std::function<void()> action);
   /// Schedules `delay >= 0` seconds from now.
@@ -75,14 +86,19 @@ class Simulator {
 
  private:
   [[nodiscard]] std::size_t route(const EventSink& sink, std::uint64_t a, std::uint64_t b);
+  /// Shared drive loop of run_until/run_all (`until` = +inf for run_all).
+  std::size_t drive(Time until);
 
   EventQueue queue_;
   ShardRouter router_;
   Time now_;
   bool stop_requested_ = false;
+  bool batch_pop_ = false;
   /// Shard of the event currently executing (0 when idle/unsharded).
   std::size_t executing_shard_ = 0;
   std::uint64_t cross_shard_scheduled_ = 0;
+  /// pop_batch scratch (capacity reused across batches).
+  std::vector<PooledBatchItem> batch_scratch_;
 };
 
 }  // namespace gs::sim

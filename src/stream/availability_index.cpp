@@ -6,6 +6,23 @@
 
 namespace gs::stream {
 
+namespace {
+constexpr std::size_t kWordBits = 64;
+
+std::size_t align_down(std::size_t pos) { return pos - pos % kWordBits; }
+
+std::size_t owner_anchor(const PeerNode& p) {
+  const SegmentId from = p.playback_anchor();
+  return from <= 0 ? 0 : static_cast<std::size_t>(from);
+}
+}  // namespace
+
+void AvailabilityIndex::set_window(std::size_t span_bits) {
+  GS_CHECK(!enabled_) << "set_window must precede build()";
+  GS_CHECK_GT(span_bits, 0u);
+  window_span_ = (span_bits + kWordBits - 1) / kWordBits * kWordBits;
+}
+
 void AvailabilityIndex::build(const net::Graph& graph, const std::vector<PeerNode>& peers) {
   views_.assign(peers.size(), View{});
   for (net::NodeId v = 0; v < peers.size(); ++v) {
@@ -18,6 +35,11 @@ void AvailabilityIndex::build_view(const net::Graph& graph, const std::vector<Pe
                                    net::NodeId v) {
   View& w = views_[v];
   w.built = true;
+  if (window_span_ > 0) {
+    w.window_base = align_down(owner_anchor(peers[v]));
+    w.supplier_count.assign(window_span_, 0);
+    w.supplied.resize(window_span_);
+  }
   for (const net::NodeId nb : graph.neighbors(v)) {
     if (!peers[nb].alive) continue;
     w.alive_neighbors.push_back(nb);  // graph adjacency is sorted by id
@@ -31,26 +53,60 @@ const AvailabilityIndex::View& AvailabilityIndex::view(net::NodeId v) const {
   return views_[v];
 }
 
-void AvailabilityIndex::ensure_capacity(View& w, SegmentId id) {
-  const auto needed = static_cast<std::size_t>(id) + 1;
-  if (w.supplier_count.size() < needed) {
-    // Geometric growth: ids arrive in near-streaming order, so this
-    // amortizes to O(1) per delivered segment.
-    const std::size_t grown = std::max(needed, w.supplier_count.size() * 2 + 64);
-    w.supplier_count.resize(grown, 0);
-    w.supplied.resize(grown);
+bool AvailabilityIndex::track_slot(View& w, SegmentId id, std::size_t& slot) const {
+  const auto pos = static_cast<std::size_t>(id);
+  if (window_span_ == 0) {
+    const std::size_t needed = pos + 1;
+    if (w.supplier_count.size() < needed) {
+      // Geometric growth: ids arrive in near-streaming order, so this
+      // amortizes to O(1) per delivered segment.
+      const std::size_t grown = std::max(needed, w.supplier_count.size() * 2 + 64);
+      w.supplier_count.resize(grown, 0);
+      w.supplied.resize(grown);
+    }
+    slot = pos;
+    return true;
   }
+  if (pos < w.window_base || pos >= w.window_base + window_span_) return false;
+  slot = pos - w.window_base;
+  return true;
+}
+
+void AvailabilityIndex::apply_gain(net::NodeId view, SegmentId id) {
+  View& w = views_[view];
+  if (!w.built) return;
+  // The cached head tracks the whole stream, not just the window: the
+  // candidate range's upper end must see neighbour heads that run ahead of
+  // the owner's playback window.
+  w.head = std::max(w.head, id);
+  std::size_t slot = 0;
+  if (!track_slot(w, id, slot)) return;  // beyond the window: sync_window reconstructs
+  if (w.supplier_count[slot]++ == 0) w.supplied.set(slot);
+}
+
+bool AvailabilityIndex::apply_evict(net::NodeId view, SegmentId victim) {
+  View& w = views_[view];
+  if (!w.built) return false;
+  std::size_t slot = 0;
+  if (track_slot(w, victim, slot)) {
+    auto& count = w.supplier_count[slot];
+    GS_CHECK_GT(count, 0u);
+    if (--count == 0) w.supplied.reset(slot);
+  }
+  // Evicting the cached head is rare (needs heavy id reordering in the
+  // owner's buffer); the caller recomputes from the settled buffers.
+  return victim == w.head;
+}
+
+void AvailabilityIndex::recompute_head_for(const std::vector<PeerNode>& peers,
+                                           net::NodeId view) {
+  recompute_head(views_[view], peers);
 }
 
 void AvailabilityIndex::on_gain(const net::Graph& graph, net::NodeId owner, SegmentId id) {
   for (const net::NodeId nb : graph.neighbors(owner)) {
-    View& w = views_[nb];
-    if (!w.built) continue;
-    ensure_capacity(w, id);
-    if (w.supplier_count[static_cast<std::size_t>(id)]++ == 0) {
-      w.supplied.set(static_cast<std::size_t>(id));
-    }
-    w.head = std::max(w.head, id);
+    if (!views_[nb].built) continue;
+    apply_gain(nb, id);
     ++updates_;
   }
 }
@@ -58,14 +114,8 @@ void AvailabilityIndex::on_gain(const net::Graph& graph, net::NodeId owner, Segm
 void AvailabilityIndex::on_evict(const net::Graph& graph, const std::vector<PeerNode>& peers,
                                  net::NodeId owner, SegmentId victim) {
   for (const net::NodeId nb : graph.neighbors(owner)) {
-    View& w = views_[nb];
-    if (!w.built) continue;
-    auto& count = w.supplier_count[static_cast<std::size_t>(victim)];
-    GS_CHECK_GT(count, 0u);
-    if (--count == 0) w.supplied.reset(static_cast<std::size_t>(victim));
-    // Evicting the cached head is rare (needs heavy id reordering in the
-    // owner's buffer); recompute from the post-eviction buffers.
-    if (victim == w.head) recompute_head(w, peers);
+    if (!views_[nb].built) continue;
+    if (apply_evict(nb, victim)) recompute_head(views_[nb], peers);
     ++updates_;
   }
 }
@@ -79,25 +129,65 @@ void AvailabilityIndex::on_boundary(const net::Graph& graph, net::NodeId owner, 
   }
 }
 
-void AvailabilityIndex::add_supplier(View& w, const PeerNode& neighbor) {
+void AvailabilityIndex::sync_window(const std::vector<PeerNode>& peers, net::NodeId v,
+                                    SegmentId from) {
+  if (window_span_ == 0) return;
+  View& w = views_[v];
+  GS_CHECK(w.built);
+  const std::size_t new_base = align_down(from <= 0 ? 0 : static_cast<std::size_t>(from));
+  if (new_base <= w.window_base) return;  // the anchor is monotone
+  const std::size_t shift = new_base - w.window_base;
+  const std::size_t old_end = w.window_base + window_span_;
+  if (shift >= window_span_) {
+    std::fill(w.supplier_count.begin(), w.supplier_count.end(), 0);
+    w.supplied.reset_all();
+  } else {
+    std::copy(w.supplier_count.begin() + static_cast<std::ptrdiff_t>(shift),
+              w.supplier_count.end(), w.supplier_count.begin());
+    std::fill(w.supplier_count.end() - static_cast<std::ptrdiff_t>(shift),
+              w.supplier_count.end(), 0);
+    w.supplied.shift_down(shift);
+  }
+  w.window_base = new_base;
+  // Reconstruct the newly covered top range exactly from the current
+  // buffers: gains for these ids were dropped while they sat beyond the
+  // window, and every such segment still present is in some neighbour's
+  // presence set right now (a gain followed by an in-batch eviction
+  // cancels, matching the dropped pair).
+  const std::size_t recon_lo = std::max(old_end, new_base);
+  const std::size_t recon_hi = new_base + window_span_;
+  for (const net::NodeId nb : w.alive_neighbors) {
+    const util::DynamicBitset& presence = peers[nb].buffer.presence();
+    for (std::size_t pos = presence.find_first(recon_lo);
+         pos < std::min(recon_hi, presence.size()); pos = presence.find_first(pos + 1)) {
+      const std::size_t slot = pos - new_base;
+      if (w.supplier_count[slot]++ == 0) w.supplied.set(slot);
+    }
+  }
+  ++updates_;
+}
+
+void AvailabilityIndex::add_supplier(View& w, const PeerNode& neighbor) const {
   const util::DynamicBitset& presence = neighbor.buffer.presence();
-  for (std::size_t pos = presence.find_first(0); pos < presence.size();
+  for (std::size_t pos = presence.find_first(w.window_base); pos < presence.size();
        pos = presence.find_first(pos + 1)) {
-    const auto id = static_cast<SegmentId>(pos);
-    ensure_capacity(w, id);
-    if (w.supplier_count[pos]++ == 0) w.supplied.set(pos);
+    std::size_t slot = 0;
+    if (!track_slot(w, static_cast<SegmentId>(pos), slot)) continue;
+    if (w.supplier_count[slot]++ == 0) w.supplied.set(slot);
   }
   w.head = std::max(w.head, neighbor.buffer.max_id());
   w.boundary_max = std::max(w.boundary_max, neighbor.known_boundary);
 }
 
-void AvailabilityIndex::remove_supplier(View& w, const PeerNode& neighbor) {
+void AvailabilityIndex::remove_supplier(View& w, const PeerNode& neighbor) const {
   const util::DynamicBitset& presence = neighbor.buffer.presence();
-  for (std::size_t pos = presence.find_first(0); pos < presence.size();
+  for (std::size_t pos = presence.find_first(w.window_base); pos < presence.size();
        pos = presence.find_first(pos + 1)) {
-    auto& count = w.supplier_count[pos];
+    std::size_t slot = 0;
+    if (!track_slot(w, static_cast<SegmentId>(pos), slot)) continue;
+    auto& count = w.supplier_count[slot];
     GS_CHECK_GT(count, 0u);
-    if (--count == 0) w.supplied.reset(pos);
+    if (--count == 0) w.supplied.reset(slot);
   }
 }
 

@@ -14,15 +14,36 @@
 //   - the alive neighbour list in graph (sorted-id) order,
 //   - a per-segment supplier count plus the derived `supplied` bitset, so
 //     the candidate loop can jump straight to missing-and-supplied ids with
-//     DynamicBitset::first_set_and_clear,
+//     DynamicBitset::first_set_and_clear_offset,
 //   - the cached neighbour head (max buffer id any neighbour holds),
 //   - the cached boundary max (newest switch any neighbour knows of).
+//
+// Two keying modes share every code path:
+//   - absolute (default): supplier counts are indexed by absolute segment
+//     id and the arrays grow with the stream — simple and exact, but a
+//     long run accumulates O(total segments) per view;
+//   - windowed (set_window): counts live in a sliding window of
+//     `span` ids anchored at the owner's playback cursor (window_base,
+//     always a multiple of 64 so the supplied bitset stays word-aligned
+//     with the absolute received set).  Deltas outside the window are
+//     dropped; sync_window slides the base forward each tick and *exactly*
+//     reconstructs the newly covered top range from the neighbours'
+//     buffers, so in-window counts always equal the absolute-mode counts —
+//     which is what keeps windowed runs bit-identical (enforced by
+//     stream_determinism_test) while bounding per-view memory at
+//     O(buffer_capacity) for 10^5+-peer runs.
 //
 // The maintained views are exact mirrors of what the legacy rescan would
 // compute, which is what makes the engine's incremental_availability mode
 // bit-identical to the rescan mode (enforced by stream_determinism_test).
-// State is strictly per peer — no cross-view sharing — so the index shards
-// cleanly if peers are ever distributed across threads (see ROADMAP).
+// State is strictly per view, and the delta entry points are split into
+// apply_gain / apply_evict / recompute_head_for so the sharded engine can
+// drain delivery deltas in parallel: each lane applies the deltas of the
+// views its shard owns (disjoint state), defers head recomputation (which
+// reads other peers' buffers) behind the wave barrier, and the end-of-batch
+// state equals the sequential application exactly (supplier counts commute
+// per (view, owner) stream; the cached head is exact at every batch end —
+// max-monotone gains plus recompute-on-dirty cover every eviction case).
 #pragma once
 
 #include <cstdint>
@@ -44,17 +65,32 @@ class AvailabilityIndex {
     /// Alive neighbours in ascending id order — exactly the order and set
     /// graph.neighbors() yields once dead peers are skipped.
     std::vector<net::NodeId> alive_neighbors;
-    /// supplier_count[id] = alive neighbours currently holding `id`.
+    /// supplier_count[slot] = alive neighbours currently holding segment
+    /// window_base + slot (window_base is 0 in absolute mode).
     std::vector<std::uint16_t> supplier_count;
-    /// Bit `id` set iff supplier_count[id] > 0.
+    /// Bit `slot` set iff supplier_count[slot] > 0.
     util::DynamicBitset supplied;
+    /// Absolute id of supplier_count[0] / supplied bit 0; multiple of 64.
+    std::size_t window_base = 0;
     /// max over alive neighbours of buffer.max_id(); kNoSegment when none.
+    /// Maintained across the whole stream regardless of the window.
     SegmentId head = kNoSegment;
     /// max over alive neighbours of known_boundary; -1 when none.
     int boundary_max = -1;
+
+    /// One past the last absolute id the supplied bitset covers.
+    [[nodiscard]] std::size_t supplied_end() const noexcept {
+      return window_base + supplied.size();
+    }
   };
 
   [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+  [[nodiscard]] bool windowed() const noexcept { return window_span_ > 0; }
+
+  /// Switches supplier-count keying to a sliding window of `span_bits` ids
+  /// (rounded up to a word multiple) anchored at each owner's playback
+  /// cursor.  Must be called before build().
+  void set_window(std::size_t span_bits);
 
   /// Builds every live non-source peer's view from the current buffers and
   /// enables event maintenance.  Call once, after setup/warm-start filled
@@ -69,6 +105,35 @@ class AvailabilityIndex {
                 SegmentId victim);
   /// `owner` learned switch boundaries up to `boundary`.
   void on_boundary(const net::Graph& graph, net::NodeId owner, int boundary);
+
+  // --- journaled delta application (the engine's parallel delivery wave) ---
+  //
+  // apply_gain/apply_evict are the per-view halves of on_gain/on_evict:
+  // they touch only views_[view] (plus the immutable window configuration),
+  // so distinct views can be updated from distinct threads.  apply_evict
+  // never recomputes the head — it reports whether the cached head was
+  // invalidated and the caller recomputes after every buffer write of the
+  // batch has landed (recompute_head_for), which yields exactly the head a
+  // sequential application ends at.
+
+  /// Applies one gain delta to `view`'s state; no-op for unbuilt views.
+  void apply_gain(net::NodeId view, SegmentId id);
+  /// Applies one eviction delta to `view`'s state.  Returns true when the
+  /// eviction removed the cached head (caller must recompute_head_for once
+  /// the batch's buffer writes are final); false otherwise.
+  [[nodiscard]] bool apply_evict(net::NodeId view, SegmentId victim);
+  /// Recomputes `view`'s cached head from its alive neighbours' buffers.
+  void recompute_head_for(const std::vector<PeerNode>& peers, net::NodeId view);
+  /// Folds externally counted delta applications into updates_applied().
+  void add_updates(std::uint64_t n) noexcept { updates_ += n; }
+
+  /// Slides `v`'s window so it stays anchored at the owner's current
+  /// playback position `from` (windowed mode; no-op otherwise).  Counts
+  /// for the newly covered top range are reconstructed exactly from the
+  /// alive neighbours' buffers, recovering any deltas dropped while those
+  /// ids were beyond the window.  Call from the tick pre phase, after
+  /// playback advanced.
+  void sync_window(const std::vector<PeerNode>& peers, net::NodeId v, SegmentId from);
 
   /// A fresh joiner `v`, already wired into the graph and present in
   /// `peers`: builds its view and registers it with its neighbours.
@@ -88,14 +153,18 @@ class AvailabilityIndex {
 
  private:
   void build_view(const net::Graph& graph, const std::vector<PeerNode>& peers, net::NodeId v);
-  /// Grows the per-segment arrays of `w` to cover `id`.
-  static void ensure_capacity(View& w, SegmentId id);
-  static void add_supplier(View& w, const PeerNode& neighbor);
-  static void remove_supplier(View& w, const PeerNode& neighbor);
+  /// Maps `id` to its count/bitset slot in `w`.  Absolute mode grows the
+  /// arrays and always tracks; windowed mode reports out-of-window ids as
+  /// untracked (false) without touching anything.
+  bool track_slot(View& w, SegmentId id, std::size_t& slot) const;
+  void add_supplier(View& w, const PeerNode& neighbor) const;
+  void remove_supplier(View& w, const PeerNode& neighbor) const;
   static void recompute_head(View& w, const std::vector<PeerNode>& peers);
   static void recompute_boundary(View& w, const std::vector<PeerNode>& peers);
 
   bool enabled_ = false;
+  /// 0 = absolute keying; otherwise the window span in bits (multiple of 64).
+  std::size_t window_span_ = 0;
   std::vector<View> views_;
   std::uint64_t updates_ = 0;
 };

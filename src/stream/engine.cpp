@@ -50,7 +50,26 @@ Engine::Engine(net::Graph graph, net::LatencyModel latency, EngineConfig config,
       if (&sink == &transfers_) return 1 + static_cast<std::size_t>(a) % shards;
       return 0;
     });
+    // The parallel delivery wave: consecutive delivery events pop as one
+    // batch and drain through the mark/book/merge pipeline; same-timestamp
+    // tick sweeps super-batch through BatchTicker::on_batch.  Fresh-segment
+    // push reads neighbour buffers and schedules transfers per delivery,
+    // which only the inline pop order reproduces — the wave stands down.
+    if (config_.parallel_delivery && !config_.push_fresh_segments) {
+      data_shards_ = shards;
+      delta_journals_.resize((shards + 1) * shards);
+      shard_entries_.resize(shards);
+      dirty_views_.resize(shards);
+      lane_merges_.assign(shards, 0);
+      transfers_.set_delivery_batch(
+          [this](const sim::PooledBatchItem* items, std::size_t count) {
+            on_delivery_batch(items, count);
+          });
+      sim_.enable_batch_pop(true);
+    }
   }
+  GS_CHECK(!config_.windowed_availability || config_.incremental_availability)
+      << "windowed_availability requires incremental_availability";
   // Warm-up traffic is outside the paper's measurement window.
   overhead_.set_enabled(false);
   // Degree-repair edges appear between existing peers deep inside
@@ -151,6 +170,13 @@ bool Engine::tick_pre(PeerNode& p, double now, NeighborScan& scan) {
 
   advance_playback(p, now);
   maybe_start_playback(p, now);
+  // Windowed views: re-anchor the supplier window at the settled playback
+  // position so the plan phase's candidate range [from, from + B) is fully
+  // covered.  Writes only this member's own view, so the sequential pre
+  // order is preserved and the parallel plan phase sees a stable window.
+  if (availability_.windowed()) {
+    availability_.sync_window(peers_, p.id, p.playback_anchor());
+  }
   return true;
 }
 
@@ -173,7 +199,7 @@ void Engine::tick_plan(PeerNode& p, double now, const NeighborScan& scan, TickPl
   ctx.period = config_.tau;
   ctx.playback_rate = config_.playback_rate;
   ctx.inbound_rate = p.inbound_rate;
-  ctx.id_play = p.playback.started() ? p.playback.cursor() : p.start_id;
+  ctx.id_play = p.playback_anchor();
   ctx.q_consecutive = config_.q_consecutive;
   ctx.q_startup = config_.q_startup;
   ctx.buffer_capacity = config_.buffer_capacity;
@@ -370,7 +396,7 @@ void Engine::advert_availability(PeerNode& p, std::size_t receivers) {
 void Engine::build_candidates(PeerNode& p, double now, const NeighborScan& scan,
                               TickPlan& plan) {
   std::vector<CandidateSegment>& out = plan.candidates;
-  const SegmentId from = p.playback.started() ? p.playback.cursor() : p.start_id;
+  const SegmentId from = p.playback_anchor();
 
   const bool incremental = availability_.enabled();
   if (!incremental) {
@@ -396,9 +422,11 @@ void Engine::build_candidates(PeerNode& p, double now, const NeighborScan& scan,
       incremental ? view->alive_neighbors : scan.alive;
   const auto next_candidate = [&](SegmentId at) -> SegmentId {
     if (!incremental) return next_missing(p.received, at);
-    const std::size_t pos = util::DynamicBitset::first_set_and_clear(
-        view->supplied, p.received, static_cast<std::size_t>(at));
-    if (pos >= view->supplied.size()) return to + 1;  // nothing supplied past `at`
+    // The supplied bitset may be windowed (bit j = id window_base + j);
+    // absolute keying is the window_base == 0 case of the same walk.
+    const std::size_t pos = util::DynamicBitset::first_set_and_clear_offset(
+        view->supplied, view->window_base, p.received, static_cast<std::size_t>(at));
+    if (pos >= view->supplied_end()) return to + 1;  // nothing supplied past `at`
     return static_cast<SegmentId>(pos);
   };
 
@@ -464,10 +492,20 @@ void Engine::deliver_segment(PeerNode& p, SegmentId id, double now, bool count_w
     return;
   }
   if (availability_.enabled()) {
-    // Publish the buffer change to the neighbourhood's availability views.
-    availability_.on_gain(graph_, p.id, id);
-    if (evicted != kNoSegment) availability_.on_evict(graph_, peers_, p.id, evicted);
+    if (journal_deltas_) {
+      // Batched drain, deferred-mark path: stage the deltas on the book
+      // pass's journal row; the merge wave applies them.
+      emit_view_deltas(p.id, id, evicted, data_shards_);
+    } else {
+      // Publish the buffer change to the neighbourhood's availability views.
+      availability_.on_gain(graph_, p.id, id);
+      if (evicted != kNoSegment) availability_.on_evict(graph_, peers_, p.id, evicted);
+    }
   }
+  deliver_bookkeeping(p, id, now, count_wire);
+}
+
+void Engine::deliver_bookkeeping(PeerNode& p, SegmentId id, double now, bool count_wire) {
   if (count_wire) {
     overhead_.charge_data_segment();
     ++stats_.segments_delivered;
@@ -488,6 +526,138 @@ void Engine::deliver_segment(PeerNode& p, SegmentId id, double now, bool count_w
     p.playback.notify_arrival(id, now);
     advance_playback(p, now);
     if (config_.push_fresh_segments && count_wire) push_to_neighbors(p, id, now);
+  }
+}
+
+void Engine::emit_view_deltas(net::NodeId owner, SegmentId gained, SegmentId evicted,
+                              std::size_t source_shard) {
+  // Two passes to mirror the inline order per view: every gain before any
+  // eviction (on_gain's whole neighbour loop runs before on_evict's).
+  const std::size_t row = source_shard * data_shards_;
+  for (const net::NodeId nb : graph_.neighbors(owner)) {
+    delta_journals_[row + nb % data_shards_].push_back({nb, gained, false});
+  }
+  if (evicted == kNoSegment) return;
+  for (const net::NodeId nb : graph_.neighbors(owner)) {
+    delta_journals_[row + nb % data_shards_].push_back({nb, evicted, true});
+  }
+}
+
+void Engine::on_delivery_batch(const sim::PooledBatchItem* items, std::size_t count) {
+  // A single-event run degenerates to the inline pop (the simulator's
+  // clock already sits at the item's time).
+  if (count == 1) {
+    on_delivery(static_cast<net::NodeId>(items[0].a), static_cast<SegmentId>(items[0].b));
+    return;
+  }
+  ++stats_.delivery_batches;
+  const std::size_t shards = data_shards_;
+  const std::size_t lanes = std::min<std::size_t>(
+      shards, std::max<std::size_t>(1, std::thread::hardware_concurrency()));
+
+  // Partition into per-shard delivery lists (pop order preserved within a
+  // list; every delivery of one peer lands in that peer's shard list) and
+  // count per-peer multiplicity: a peer receiving several segments in one
+  // run must interleave buffer marks with its playback bookkeeping exactly
+  // as the inline order would, so its marks defer to the book pass.
+  for (std::vector<std::uint32_t>& list : shard_entries_) list.clear();
+  if (batch_peer_count_.size() < peers_.size()) batch_peer_count_.resize(peers_.size(), 0);
+  batch_outcomes_.assign(count, MarkOutcome::kDead);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto to = static_cast<net::NodeId>(items[i].a);
+    shard_entries_[to % shards].push_back(static_cast<std::uint32_t>(i));
+    if (batch_peer_count_[to] < 2) ++batch_peer_count_[to];
+  }
+
+  // Mark wave: each lane owns one shard's peers — pending erases, buffer
+  // writes and received bits touch only this lane's peers, and the staged
+  // availability deltas go to this lane's private journal row.  Safe
+  // concurrent reads only otherwise (graph adjacency, the batch counts).
+  util::global_pool().run_batch(shards, lanes, [this, items](std::size_t s) {
+    for (const std::uint32_t idx : shard_entries_[s]) {
+      const auto to = static_cast<net::NodeId>(items[idx].a);
+      const auto id = static_cast<SegmentId>(items[idx].b);
+      PeerNode& p = peers_[to];
+      p.pending.erase(id);
+      if (!p.alive) continue;  // left while the segment was in flight
+      if (batch_peer_count_[to] > 1) {
+        batch_outcomes_[idx] = MarkOutcome::kDeferred;
+        continue;
+      }
+      SegmentId evicted = kNoSegment;
+      if (!p.mark_received(id, &evicted)) {
+        batch_outcomes_[idx] = MarkOutcome::kDuplicate;
+        continue;
+      }
+      batch_outcomes_[idx] = MarkOutcome::kFresh;
+      if (availability_.enabled()) emit_view_deltas(to, id, evicted, s);
+    }
+  });
+
+  // Book pass, pop order: every globally ordered side effect — duplicate
+  // and wire counters, boundary learning, switch metrics, playback — runs
+  // exactly as the inline pops would.  Cross-peer state is only written
+  // (metric pushes, boundary deltas), never read, so the mark wave's early
+  // buffer writes for *other* peers are invisible here.
+  journal_deltas_ = availability_.enabled();
+  for (std::size_t i = 0; i < count; ++i) {
+    if (experiment_done_) break;  // the inline order stops popping here too
+    const auto to = static_cast<net::NodeId>(items[i].a);
+    const auto id = static_cast<SegmentId>(items[i].b);
+    PeerNode& p = peers_[to];
+    switch (batch_outcomes_[i]) {
+      case MarkOutcome::kDead:
+        break;
+      case MarkOutcome::kDeferred:
+        deliver_segment(p, id, items[i].at, /*count_wire=*/true);
+        break;
+      case MarkOutcome::kDuplicate:
+        ++p.duplicates_received;
+        ++stats_.duplicates;
+        break;
+      case MarkOutcome::kFresh:
+        deliver_bookkeeping(p, id, items[i].at, /*count_wire=*/true);
+        break;
+    }
+  }
+  journal_deltas_ = false;
+
+  // Merge wave: lane t applies the journalled deltas of the views shard t
+  // owns, walking the journal rows in source order (per-owner delta
+  // streams live in one row and stay ordered; cross-owner deltas commute
+  // on the supplier counts).  Head recomputation reads other peers'
+  // buffers, so it waits for the barrier and runs sequentially against the
+  // settled state — which is exactly the head the inline order ends at.
+  if (availability_.enabled()) {
+    util::global_pool().run_batch(shards, lanes, [this](std::size_t t) {
+      std::vector<net::NodeId>& dirty = dirty_views_[t];
+      dirty.clear();
+      std::uint64_t applied = 0;
+      for (std::size_t s = 0; s <= data_shards_; ++s) {
+        for (const ViewDelta& d : delta_journals_[s * data_shards_ + t]) {
+          if (d.evict) {
+            if (availability_.apply_evict(d.view, d.id)) dirty.push_back(d.view);
+          } else {
+            availability_.apply_gain(d.view, d.id);
+          }
+          ++applied;
+        }
+      }
+      lane_merges_[t] = applied;
+    });
+    std::uint64_t merged = 0;
+    for (std::size_t t = 0; t < shards; ++t) {
+      for (const net::NodeId v : dirty_views_[t]) availability_.recompute_head_for(peers_, v);
+      merged += lane_merges_[t];
+    }
+    availability_.add_updates(merged);
+    stats_.delta_journal_merges += merged;
+    for (std::vector<ViewDelta>& journal : delta_journals_) journal.clear();
+  }
+
+  // Zero only the multiplicity entries this batch touched.
+  for (std::size_t i = 0; i < count; ++i) {
+    batch_peer_count_[static_cast<net::NodeId>(items[i].a)] = 0;
   }
 }
 

@@ -139,6 +139,26 @@ struct EngineConfig {
   /// stream_determinism_test); only wall-clock and the shard diagnostics
   /// change.
   std::size_t parallel_shards = 0;
+  /// Parallel delivery wave of the sharded core (parallel_shards > 0
+  /// only).  Consecutive delivery events are popped as one batch
+  /// (Simulator::enable_batch_pop), buffer writes run as a parallel wave
+  /// of per-shard delivery lists, availability deltas are staged into
+  /// per-lane journals and merged per owning shard, and same-timestamp
+  /// tick sweeps of different groups collapse into one super-batched
+  /// pipeline pass (BatchTicker::on_batch).  Pure mechanism like
+  /// parallel_shards itself: fixed-seed metrics are bit-identical with the
+  /// wave on or off at every shard count (enforced by
+  /// stream_determinism_test); only wall clock and the drain diagnostics
+  /// (EngineStats::delivery_batches / delta_journal_merges /
+  /// superbatch_sweeps) change — plus, in the one batch where the
+  /// experiment completes, the tail diagnostics events_popped and
+  /// index_updates: the run's final batch is popped whole, so items behind
+  /// the completing delivery count as popped (their ordered bookkeeping is
+  /// skipped exactly like the inline stop skips them, keeping every metric
+  /// and compared counter identical).  Automatically disabled when
+  /// push_fresh_segments is on (push reads neighbour buffers and schedules
+  /// transfers per delivery, which requires the inline pop order).
+  bool parallel_delivery = true;
   /// kTokenBucket burst depth in segments (>= 1; 1 degenerates to
   /// kSharedFifo's serialised spacing).
   double token_bucket_burst = 4.0;
@@ -151,6 +171,15 @@ struct EngineConfig {
   /// stream_determinism_test); only the scan work changes (see
   /// EngineStats::availability_probes and bench BM_BuildCandidates).
   bool incremental_availability = false;
+  /// Windowed availability views (requires incremental_availability):
+  /// re-keys each view's supplier counts onto a sliding window anchored at
+  /// the peer's playback cursor, bounding per-view memory at
+  /// O(buffer_capacity) instead of O(total stream length) — the 10^5+-peer
+  /// long-run configuration.  Pure mechanism: fixed-seed metrics are
+  /// bit-identical with the flag on or off (enforced by
+  /// stream_determinism_test); the window slides in the tick pre phase and
+  /// reconstructs the entering range exactly from neighbour buffers.
+  bool windowed_availability = false;
   /// Charge availability gossip as BufferMapDelta exchanges (changed-bit
   /// runs + base shift) instead of full 620-bit maps, with a full-map
   /// refresh every map_refresh_period adverts and whenever the delta would
@@ -219,6 +248,14 @@ struct EngineStats {
   /// Events routed into a foreign shard's queue (cross-shard outbox
   /// traffic; see Simulator::cross_shard_scheduled).
   std::uint64_t cross_shard_events = 0;
+  /// Parallel-delivery diagnostics (parallel_shards > 0 with
+  /// parallel_delivery only): multi-event delivery runs drained through
+  /// the wave pipeline, availability deltas merged from the per-lane
+  /// journals, and same-timestamp sweep runs collapsed into one
+  /// super-batched pipeline pass.
+  std::uint64_t delivery_batches = 0;
+  std::uint64_t delta_journal_merges = 0;
+  std::uint64_t superbatch_sweeps = 0;
 };
 
 class Engine {
@@ -358,7 +395,53 @@ class Engine {
   // --- data path ---
   void on_delivery(net::NodeId to, SegmentId id);
   void deliver_segment(PeerNode& p, SegmentId id, double now, bool count_wire);
+  /// Everything after the buffer write and availability deltas of a fresh
+  /// delivery: wire accounting, boundary learning, switch progress,
+  /// playback.  Split out so the batched drain can run it per delivery in
+  /// pop order after the parallel mark wave.
+  void deliver_bookkeeping(PeerNode& p, SegmentId id, double now, bool count_wire);
   void push_to_neighbors(PeerNode& p, SegmentId id, double now);
+
+  // --- parallel delivery wave (config_.parallel_delivery) ---
+  //
+  // A batched run of delivery events (TransferPlane::set_delivery_batch)
+  // drains in three passes that reproduce the inline pop sequence exactly:
+  //   mark    parallel per target-peer shard — pending erase + buffer
+  //           writes for peers with a single delivery in the run (their
+  //           bookkeeping sees exactly the state the inline order would
+  //           produce; multi-delivery peers defer the mark so their
+  //           bookkeeping interleaves marks per delivery), with
+  //           availability deltas staged into per-(lane, owner-shard)
+  //           journals;
+  //   book    sequential, pop order — duplicates/wire counters, boundary
+  //           learning, switch progress and playback, i.e. every globally
+  //           ordered side effect (metric pushes, experiment completion);
+  //   merge   parallel per owning shard — each lane applies the journalled
+  //           availability deltas of the views its shard owns (source-lane
+  //           order; per-owner delta streams stay ordered, cross-owner
+  //           deltas commute), then dirty cached heads are recomputed
+  //           sequentially from the settled buffers.
+  void on_delivery_batch(const sim::PooledBatchItem* items, std::size_t count);
+  /// Stages one delivery's availability deltas (gain + optional eviction)
+  /// into the journal row of `source_shard` (data_shards_ = the
+  /// sequential bookkeeping row).
+  void emit_view_deltas(net::NodeId owner, SegmentId gained, SegmentId evicted,
+                        std::size_t source_shard);
+
+  /// One journalled availability delta: apply gain/evict of `id` to
+  /// views_[view] (owned by shard view % data_shards_).
+  struct ViewDelta {
+    net::NodeId view = 0;
+    SegmentId id = kNoSegment;
+    bool evict = false;
+  };
+  /// Per-delivery outcome of the mark pass.
+  enum class MarkOutcome : std::uint8_t {
+    kDead,      ///< target left while the segment was in flight
+    kDeferred,  ///< multi-delivery peer: mark happens in the book pass
+    kDuplicate,
+    kFresh,
+  };
 
   // --- switch bookkeeping ---
   void learn_boundaries(PeerNode& p, int up_to, double now);
@@ -404,6 +487,29 @@ class Engine {
   std::vector<std::uint64_t> dirty_supplier_;
   /// Monotone count of capacity commits (parallel mode only).
   std::uint64_t capacity_commits_ = 0;
+
+  /// Parallel delivery wave state (sized only when the wave is active).
+  /// Peer/view ownership shard = id % data_shards_ (0 = wave inactive).
+  std::size_t data_shards_ = 0;
+  /// Journal row-major layout: journal of (source s, owning shard t) at
+  /// s * data_shards_ + t; source data_shards_ is the sequential book
+  /// pass.  Buckets keep their capacity across batches.
+  std::vector<std::vector<ViewDelta>> delta_journals_;
+  /// Per target-peer shard: indices into the current batch, pop order.
+  std::vector<std::vector<std::uint32_t>> shard_entries_;
+  /// Views whose cached head an eviction invalidated, per owning shard.
+  std::vector<std::vector<net::NodeId>> dirty_views_;
+  /// Deltas applied per merge lane (summed into availability updates).
+  std::vector<std::uint64_t> lane_merges_;
+  std::vector<MarkOutcome> batch_outcomes_;
+  /// Per-peer delivery multiplicity of the current batch, saturating at 2
+  /// (all the mark wave needs is single vs multi).  A flat byte per peer —
+  /// no hashing on the drain hot path; entries touched by a batch are
+  /// zeroed from its item list when the drain finishes.
+  std::vector<std::uint8_t> batch_peer_count_;
+  /// deliver_segment availability routing: journal into the sequential
+  /// book row instead of applying inline (set during the book pass).
+  bool journal_deltas_ = false;
 
   std::vector<DebugPoint> debug_series_;
   std::unique_ptr<sim::PeriodicTask> debug_task_;

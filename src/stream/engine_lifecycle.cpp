@@ -255,7 +255,7 @@ void Engine::start_debug_series() {
         for (const PeerNode& p : peers_) {
           if (p.is_source || !p.alive) continue;
           ++counted;
-          const SegmentId cursor = p.playback.started() ? p.playback.cursor() : p.start_id;
+          const SegmentId cursor = p.playback_anchor();
           cursor_gap += static_cast<double>(point.head - cursor);
           const SegmentId frontier = next_missing(p.received, cursor);
           const double gap = static_cast<double>(point.head - frontier);
@@ -291,7 +291,15 @@ std::vector<SwitchMetrics> Engine::run() {
   if (config_.warm_start) warm_start_state();
   // Build the availability views from the settled (possibly warm-started)
   // buffers; every later change flows in as a delta event.
-  if (config_.incremental_availability) availability_.build(graph_, peers_);
+  if (config_.incremental_availability) {
+    if (config_.windowed_availability) {
+      // Window span: the candidate range is at most buffer_capacity wide
+      // and starts within a word of the anchored base; the extra slack
+      // tracks a little ahead so slides reconstruct less.
+      availability_.set_window(config_.buffer_capacity + 192);
+    }
+    availability_.build(graph_, peers_);
+  }
   start_session(0);
   for (std::size_t i = 0; i < timeline_.switch_count(); ++i) {
     schedule_switch(static_cast<int>(i));
@@ -314,6 +322,7 @@ std::vector<SwitchMetrics> Engine::run() {
   stats_.events_popped = sim_.run_until(stop_at);
   stats_.index_updates = availability_.updates_applied();
   stats_.cross_shard_events = sim_.cross_shard_scheduled();
+  stats_.superbatch_sweeps = ticker_ ? ticker_->superbatch_count() : 0;
 
   // Censor peers that never completed within the horizon, then compute the
   // per-switch overhead ratios from the snapshot deltas.

@@ -97,6 +97,15 @@ struct PeerNode {
   /// True when `id` is a valid, already-received segment id.
   [[nodiscard]] bool has_received(SegmentId id) const noexcept;
 
+  /// First id this peer currently wants: the playback cursor once started,
+  /// start_id before.  The candidate range, the windowed availability
+  /// anchor and the per-tick window sync all derive from this one value —
+  /// their agreement is what guarantees the sliding window always covers
+  /// the candidate scan.
+  [[nodiscard]] SegmentId playback_anchor() const noexcept {
+    return playback.started() ? playback.cursor() : start_id;
+  }
+
   /// Undelivered segments in [lo, hi] (0 when the range is empty).
   [[nodiscard]] std::size_t count_missing(SegmentId lo, SegmentId hi) const;
 

@@ -218,6 +218,11 @@ void TransferPlane::on_event(std::uint64_t a, std::uint64_t b) {
   on_delivery_(static_cast<net::NodeId>(a), static_cast<SegmentId>(b));
 }
 
+void TransferPlane::on_batch(const sim::PooledBatchItem* items, std::size_t count) {
+  // batchable() guarantees the handler exists whenever the queue batches.
+  on_delivery_batch_(items, count);
+}
+
 double TransferPlane::uplink_busy_until(net::NodeId v) const {
   GS_CHECK_LT(v, uplink_busy_until_.size());
   return uplink_busy_until_[v];

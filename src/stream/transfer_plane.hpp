@@ -84,6 +84,11 @@ class CapacityModel {
 class TransferPlane final : public sim::EventSink {
  public:
   using DeliveryFn = std::function<void(net::NodeId to, SegmentId id)>;
+  /// Receives a batched run of deliveries (each item: at = delivery time,
+  /// a = requester node id, b = segment id) popped together by the
+  /// simulator's batched dispatch; see set_delivery_batch.
+  using DeliveryBatchFn = std::function<void(const sim::PooledBatchItem* items,
+                                             std::size_t count)>;
 
   /// `latency` and `sim` must outlive the plane.  `on_delivery` fires when
   /// a transfer's segment reaches the requester.  `token_bucket_burst` is
@@ -124,17 +129,34 @@ class TransferPlane final : public sim::EventSink {
   /// Absolute time `v`'s uplink FIFO frees up (inspection/tests).
   [[nodiscard]] double uplink_busy_until(net::NodeId v) const;
 
+  /// Installs the batched delivery drain: with a handler set (and the
+  /// simulator's batch pop enabled) consecutive delivery events are popped
+  /// as one run and handed over whole, instead of firing `on_delivery`
+  /// inline per event.  The handler must process items in order using each
+  /// item's own time.  Delivery processing schedules nothing, so runs may
+  /// span distinct timestamps (batch_across_times); the engine therefore
+  /// must NOT install a handler when fresh-segment push is active.
+  void set_delivery_batch(DeliveryBatchFn handler) { on_delivery_batch_ = std::move(handler); }
+
+  [[nodiscard]] bool batchable() const noexcept override {
+    return on_delivery_batch_ != nullptr;
+  }
+  [[nodiscard]] bool batch_across_times() const noexcept override { return true; }
+
  private:
   /// Pooled delivery event: `a` is the requester node id, `b` the segment
   /// id.  The payload lives inline in the event-queue entry, so the per-
   /// transfer hot path schedules deliveries without allocating a closure.
   void on_event(std::uint64_t a, std::uint64_t b) override;
+  /// Batched run of delivery events (batchable() handlers only).
+  void on_batch(const sim::PooledBatchItem* items, std::size_t count) override;
 
   sim::Simulator& sim_;
   net::LatencyModel& latency_;
   SupplierCapacityModel kind_;
   double accept_horizon_;
   DeliveryFn on_delivery_;
+  DeliveryBatchFn on_delivery_batch_;
 
   /// Per-supplier uplink FIFO state.  The shared-FIFO model queues pull
   /// transfers here; the push path uses it under either model.

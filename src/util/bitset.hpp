@@ -44,6 +44,24 @@ class DynamicBitset {
                                                        const DynamicBitset& clear_in,
                                                        std::size_t from) noexcept;
 
+  /// first_set_and_clear for a *windowed* `set_in`: bit j of `set_in`
+  /// represents absolute position `offset + j` (offset must be a multiple
+  /// of 64 so the two bitsets stay word-aligned), while `clear_in` is
+  /// absolute-indexed.  `from` is absolute; positions below `offset` are
+  /// skipped.  Returns the absolute position, or `offset + set_in.size()`
+  /// when none.  Backs the sliding availability window: the supplied ring
+  /// can intersect with the absolute received set without rebasing either.
+  [[nodiscard]] static std::size_t first_set_and_clear_offset(const DynamicBitset& set_in,
+                                                              std::size_t offset,
+                                                              const DynamicBitset& clear_in,
+                                                              std::size_t from) noexcept;
+
+  /// Discards the lowest `bits` bits and shifts the rest down; size is
+  /// unchanged and the vacated top bits read clear.  `bits` must be a
+  /// multiple of 64 (the shift is a word move, which is what keeps the
+  /// sliding availability window cheap).
+  void shift_down(std::size_t bits);
+
   /// 64 bits starting at `from` (unaligned); positions past size() read 0.
   /// Lets callers diff/scan windows word-at-a-time at arbitrary offsets.
   [[nodiscard]] std::uint64_t extract_word(std::size_t from) const noexcept;

@@ -282,6 +282,131 @@ TEST(BatchTickerProperty, RemovalPreservesOrderAndEmptyGroupsGoDormant) {
   EXPECT_EQ(seen, expected);
 }
 
+// ----------------------------------------------------------- batched pops ---
+
+/// Batchable across times: mimics the transfer plane's delivery drain
+/// (processing schedules nothing).  Records (time, tag) per item.
+struct BatchableSink final : EventSink {
+  std::vector<Observation>* fired = nullptr;
+  Simulator* sim = nullptr;
+  std::uint64_t batches = 0;
+  void on_event(std::uint64_t a, std::uint64_t /*b*/) override {
+    fired->emplace_back(sim->now(), static_cast<std::uint32_t>(a));
+  }
+  [[nodiscard]] bool batchable() const noexcept override { return true; }
+  [[nodiscard]] bool batch_across_times() const noexcept override { return true; }
+  void on_batch(const PooledBatchItem* items, std::size_t count) override {
+    ++batches;
+    for (std::size_t i = 0; i < count; ++i) {
+      fired->emplace_back(items[i].at, static_cast<std::uint32_t>(items[i].a));
+    }
+  }
+};
+
+TEST(BatchPopProperty, BatchedRunsPreserveThePopOrderAcrossTimes) {
+  // The delivery-drain contract: with batched pops enabled, a mix of
+  // batchable pooled events and closure events must observe exactly the
+  // (time, sequence) order the unbatched loop produces — runs merely
+  // arrive through on_batch, carrying each item's own fire time.
+  util::Rng rng(99);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<Observation> batched;
+    std::vector<Observation> reference;
+    std::uint64_t batch_count = 0;
+    for (const bool batch_pop : {true, false}) {
+      Simulator sim;
+      sim.enable_batch_pop(batch_pop);
+      BatchableSink sink;
+      std::vector<Observation>& out = batch_pop ? batched : reference;
+      sink.fired = &out;
+      sink.sim = &sim;
+      util::Rng gen(static_cast<std::uint64_t>(trial) + 7);
+      for (std::uint32_t tag = 0; tag < 120; ++tag) {
+        const Time at = std::floor(gen.uniform(0.0, 12.0));  // dense ties
+        if (gen.bernoulli(0.75)) {
+          sim.at(at, sink, tag, 0);
+        } else {
+          sim.at(at, [&out, tag, &sim] { out.emplace_back(sim.now(), 100000 + tag); });
+        }
+      }
+      const std::size_t ran = sim.run_until(20.0);
+      EXPECT_EQ(ran, 120u);
+      if (batch_pop) batch_count = sink.batches;
+    }
+    EXPECT_EQ(batched, reference) << "trial " << trial;
+    EXPECT_GT(batch_count, 0u);
+  }
+}
+
+TEST(BatchPopProperty, NonBatchableSinksPopSingly) {
+  Simulator sim;
+  sim.enable_batch_pop(true);
+  RecordingSink sink;  // batchable() = false
+  std::vector<int> ints;
+  sink.fired = &ints;
+  for (int i = 0; i < 5; ++i) sim.at(1.0, sink, static_cast<std::uint64_t>(i), 0);
+  sim.run_until(2.0);
+  EXPECT_EQ(ints, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(BatchTickerProperty, SuperBatchedSweepsEqualPerGroupSweeps) {
+  // The super-batch contract: with batched pops enabled, same-timestamp
+  // groups are swept as ONE concatenated whole-group pass; the observed
+  // (time, member) sequence must equal the per-group sweeps — including
+  // under random tie-heavy phases and with an unrelated periodic closure
+  // breaking runs mid-timestamp-cluster.
+  util::Rng rng(17);
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::size_t group_count = 2 + static_cast<std::size_t>(rng.uniform_int(0, 5));
+    std::vector<Time> phases;
+    for (std::size_t g = 0; g < group_count; ++g) {
+      // Heavy collisions: half the groups fire at 0, the rest at 0 or 0.5.
+      phases.push_back(rng.bernoulli(0.5) ? 0.0 : (rng.bernoulli(0.5) ? 0.5 : 0.0));
+    }
+    std::vector<std::vector<std::uint32_t>> members(group_count);
+    std::uint32_t next_member = 0;
+    for (int i = 0; i < 24; ++i) {
+      members[static_cast<std::size_t>(
+                  rng.uniform_int(0, static_cast<std::int64_t>(group_count) - 1))]
+          .push_back(next_member++);
+    }
+
+    std::vector<Observation> super_batched;
+    std::vector<Observation> per_group;
+    std::uint64_t superbatches = 0;
+    for (const bool batch_pop : {true, false}) {
+      Simulator sim;
+      sim.enable_batch_pop(batch_pop);
+      std::vector<Observation>& out = batch_pop ? super_batched : per_group;
+      PeriodicTask other(sim, 0.0, 0.25,
+                         [&out](double now) { out.emplace_back(now, 9999); });
+      BatchTicker ticker(sim, 1.0, [&out](std::uint32_t member, Time now) {
+        out.emplace_back(now, member);
+      });
+      ticker.set_batch_sweep(
+          [&out](const std::vector<std::uint32_t>& swept, Time now) {
+            for (const std::uint32_t m : swept) out.emplace_back(now, m);
+          });
+      for (std::size_t g = 0; g < group_count; ++g) {
+        if (members[g].empty()) continue;
+        const std::size_t group = ticker.add_group(phases[g]);
+        for (const std::uint32_t m : members[g]) ticker.add_member(group, m);
+      }
+      sim.run_until(4.25);
+      if (batch_pop) superbatches = ticker.superbatch_count();
+    }
+    EXPECT_EQ(super_batched, per_group) << "trial " << trial;
+    // With >= 2 non-empty groups tied at phase 0 a super-batch must fire.
+    std::size_t tied_at_zero = 0;
+    for (std::size_t g = 0; g < group_count; ++g) {
+      if (!members[g].empty() && phases[g] == 0.0) ++tied_at_zero;
+    }
+    if (tied_at_zero >= 2) {
+      EXPECT_GT(superbatches, 0u) << "trial " << trial;
+    }
+  }
+}
+
 TEST(BatchTickerProperty, DestructionCancelsPendingSweeps) {
   Simulator sim;
   int fired = 0;

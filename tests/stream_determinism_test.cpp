@@ -33,6 +33,10 @@ struct RunSpec {
   bool stagger = true;
   bool incremental = false;
   bool delta_maps = false;
+  bool windowed = false;
+  /// The parallel delivery wave + sweep super-batching of the sharded core
+  /// (effective only when parallel > 0; defaults on, like the engine).
+  bool delivery_wave = true;
   std::size_t parallel = 0;
   std::size_t tick_shard = 16;
   std::vector<net::NodeId> sources = {0, 1};
@@ -57,8 +61,10 @@ RunOutput run_setup(const RunSpec& setup) {
   if (setup.token_bucket) config.supplier_capacity = SupplierCapacityModel::kTokenBucket;
   config.batch_dispatch = setup.batch;
   config.stagger_ticks = setup.stagger;
-  config.incremental_availability = setup.incremental;
+  config.incremental_availability = setup.incremental || setup.windowed;
   config.delta_maps = setup.delta_maps;
+  config.windowed_availability = setup.windowed;
+  config.parallel_delivery = setup.delivery_wave;
   config.parallel_shards = setup.parallel;
   config.tick_shard_size = setup.tick_shard;
 
@@ -493,6 +499,188 @@ TEST(ParallelShards, ShardDiagnosticsReportWork) {
   // re-plan path must actually fire (the determinism above is not vacuous).
   EXPECT_GT(sharded.stats.replanned_ticks, 0u);
   EXPECT_GT(sharded.stats.cross_shard_events, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// The parallel delivery wave (batched delivery pops drained through the
+// mark/book/merge pipeline, plus same-timestamp sweep super-batching) must
+// be *observably invisible* exactly like the sharded plan wave it extends:
+// the same seed with the wave on and off — and against the fully
+// sequential engine — has to reproduce every metric bit for bit at every
+// shard count, across algorithms, churn, all three capacity models,
+// multi-switch timelines and the batch/incremental compositions.  Only
+// wall clock and the drain diagnostics (delivery_batches /
+// delta_journal_merges / superbatch_sweeps) may change.
+
+RunOutput run_delivery(RunSpec setup, std::size_t shards, bool wave = true) {
+  setup.parallel = shards;
+  setup.delivery_wave = wave;
+  return run_setup(setup);
+}
+
+TEST(ParallelDelivery, EveryShardCountMatchesSequentialWaveOnAndOff) {
+  RunSpec setup;
+  const RunOutput sequential = run_setup(setup);
+  for (const std::size_t shards : {0u, 1u, 4u, 7u}) {
+    expect_identical(sequential, run_delivery(setup, shards, /*wave=*/true));
+    expect_identical(sequential, run_delivery(setup, shards, /*wave=*/false));
+  }
+}
+
+TEST(ParallelDelivery, NormalSwitchMatchesSequential) {
+  RunSpec setup;
+  setup.fast = false;
+  expect_identical(run_setup(setup), run_delivery(setup, 4));
+}
+
+TEST(ParallelDelivery, ChurnMatchesSequential) {
+  // Churn exercises dead-delivery outcomes (segments in flight to leavers),
+  // journal application across joiner views and view teardown mid-run.
+  RunSpec setup;
+  setup.seed = 19;
+  setup.churn = true;
+  expect_identical(run_setup(setup), run_delivery(setup, 4));
+  expect_identical(run_setup(setup), run_delivery(setup, 4, /*wave=*/false));
+}
+
+TEST(ParallelDelivery, PerLinkCapacityMatchesSequential) {
+  RunSpec setup;
+  setup.seed = 27;
+  setup.per_link = true;
+  expect_identical(run_setup(setup), run_delivery(setup, 4));
+}
+
+TEST(ParallelDelivery, TokenBucketCapacityMatchesSequential) {
+  RunSpec setup;
+  setup.seed = 29;
+  setup.token_bucket = true;
+  expect_identical(run_setup(setup), run_delivery(setup, 4));
+}
+
+TEST(ParallelDelivery, MultiSwitchMatchesSequential) {
+  RunSpec setup;
+  setup.seed = 23;
+  setup.sources = {0, 1, 2};
+  setup.switch_times = {0.0, 60.0};
+  expect_identical(run_setup(setup), run_delivery(setup, 4));
+}
+
+TEST(ParallelDelivery, BatchIncrementalComposes) {
+  // The full mechanism stack: delta-maintained views feed the journal
+  // merge wave while batched dispatch feeds the sweeps.
+  RunSpec setup;
+  setup.seed = 43;
+  RunSpec stacked = setup;
+  stacked.batch = true;
+  stacked.incremental = true;
+  expect_identical(run_setup(setup), run_delivery(stacked, 4));
+  expect_identical(run_setup(setup), run_delivery(stacked, 7));
+}
+
+TEST(ParallelDelivery, LockstepChurnMatchesSequential) {
+  // Lockstep phases put every sweep of a period at one timestamp: the
+  // super-batch path runs every period, concatenating all groups into one
+  // pipeline pass whose re-arms collapse to the end of the run.
+  RunSpec setup;
+  setup.seed = 37;
+  setup.stagger = false;
+  setup.churn = true;
+  expect_identical(run_setup(setup), run_delivery(setup, 4));
+  expect_identical(run_setup(setup), run_delivery(setup, 1));
+}
+
+TEST(ParallelDelivery, WaveRunsReproduceThemselves) {
+  RunSpec setup;
+  setup.seed = 61;
+  setup.parallel = 7;
+  setup.churn = true;
+  setup.incremental = true;
+  expect_identical(run_setup(setup), run_setup(setup));
+}
+
+TEST(ParallelDelivery, DrainDiagnosticsReportWork) {
+  RunSpec setup;
+  setup.seed = 31;
+  setup.stagger = false;  // lockstep: guarantees super-batched sweeps
+  setup.incremental = true;
+  const RunOutput sequential = run_setup(setup);
+  const RunOutput waved = run_delivery(setup, 4);
+  const RunOutput unwaved = run_delivery(setup, 4, /*wave=*/false);
+  EXPECT_EQ(sequential.stats.delivery_batches, 0u);
+  EXPECT_EQ(sequential.stats.delta_journal_merges, 0u);
+  EXPECT_EQ(sequential.stats.superbatch_sweeps, 0u);
+  EXPECT_EQ(unwaved.stats.delivery_batches, 0u);
+  EXPECT_EQ(unwaved.stats.superbatch_sweeps, 0u);
+  EXPECT_GT(waved.stats.delivery_batches, 0u);
+  EXPECT_GT(waved.stats.delta_journal_merges, 0u);
+  EXPECT_GT(waved.stats.superbatch_sweeps, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Windowed availability views re-key supplier counts onto a sliding window
+// anchored at the playback cursor.  The window is pure memory mechanism:
+// every metric must match both the absolute-keyed incremental plane and
+// the legacy rescan, bit for bit, including under churn (joins build
+// windowed views, leaves subtract through the window, repair edges add
+// suppliers across it) and composed with the sharded core's delivery wave.
+
+RunOutput run_windowed(RunSpec setup) {
+  setup.windowed = true;
+  return run_setup(setup);
+}
+
+TEST(WindowedAvailability, MatchesAbsoluteKeyingAndRescan) {
+  RunSpec setup;
+  RunSpec absolute = setup;
+  absolute.incremental = true;
+  expect_identical(run_setup(absolute), run_windowed(setup));
+  expect_identical(run_setup(setup), run_windowed(setup));
+}
+
+TEST(WindowedAvailability, ChurnMatchesAbsoluteKeying) {
+  RunSpec setup;
+  setup.seed = 19;
+  setup.churn = true;
+  RunSpec absolute = setup;
+  absolute.incremental = true;
+  expect_identical(run_setup(absolute), run_windowed(setup));
+}
+
+TEST(WindowedAvailability, MultiSwitchMatchesRescan) {
+  RunSpec setup;
+  setup.seed = 23;
+  setup.sources = {0, 1, 2};
+  setup.switch_times = {0.0, 60.0};
+  expect_identical(run_setup(setup), run_windowed(setup));
+}
+
+TEST(WindowedAvailability, LockstepChurnMatchesRescan) {
+  RunSpec setup;
+  setup.seed = 37;
+  setup.stagger = false;
+  setup.churn = true;
+  expect_identical(run_setup(setup), run_windowed(setup));
+}
+
+TEST(WindowedAvailability, ComposesWithParallelDelivery) {
+  // Window slides happen in the tick pre phase and the delivery wave's
+  // merge lanes apply journalled deltas against the windowed slots — the
+  // full composition must still match the plain sequential engine.
+  RunSpec setup;
+  setup.seed = 47;
+  RunSpec stacked = setup;
+  stacked.windowed = true;
+  stacked.parallel = 4;
+  expect_identical(run_setup(setup), run_setup(stacked));
+}
+
+TEST(WindowedAvailability, WindowedChurnRunsReproduceThemselves) {
+  RunSpec setup;
+  setup.seed = 53;
+  setup.windowed = true;
+  setup.batch = true;
+  setup.churn = true;
+  expect_identical(run_setup(setup), run_setup(setup));
 }
 
 TEST(Determinism, DifferentSeedsProduceDifferentRuns) {
