@@ -26,6 +26,7 @@ struct BenchOptions {
   bool delta_maps = false;
   bool windowed_availability = false;
   std::size_t parallel_shards = 0;
+  bool peer_pool = false;
   /// 0 = keep the engine default; ablation benches pass --tick-shard-size
   /// to exercise sweep granularity (and super-batching under lockstep)
   /// without recompiling.
@@ -41,6 +42,7 @@ struct BenchOptions {
         incremental_availability || delta_maps || windowed_availability, delta_maps);
     config.enable_windowed_availability(windowed_availability);
     config.enable_parallel_shards(parallel_shards);
+    config.enable_peer_pool(peer_pool);
     if (tick_shard_size > 0) config.engine.tick_shard_size = tick_shard_size;
     config.engine.supplier_capacity = exp::capacity_from_string(capacity_model);
   }
@@ -68,6 +70,10 @@ inline bool parse_bench_flags(int argc, char** argv, BenchOptions& options,
   flags.define_int("parallel-shards", 0,
                    "sharded parallel core: plan lanes / event-queue shards "
                    "(identical metrics at any count; 0 = sequential)");
+  flags.define_bool("peer-pool", false,
+                    "million-peer memory plane: flat pending/buffer/arrival "
+                    "structures and the plan arena (identical metrics, "
+                    "smaller bytes/peer)");
   flags.define_int("tick-shard-size", 0,
                    "peers per tick shard / sweep group (0 = engine default)");
   flags.define("capacity-model", "shared-fifo",
@@ -85,6 +91,7 @@ inline bool parse_bench_flags(int argc, char** argv, BenchOptions& options,
   options.delta_maps = flags.get_bool("delta-maps");
   options.windowed_availability = flags.get_bool("windowed-availability");
   options.parallel_shards = static_cast<std::size_t>(flags.get_int("parallel-shards"));
+  options.peer_pool = flags.get_bool("peer-pool");
   options.tick_shard_size = static_cast<std::size_t>(flags.get_int("tick-shard-size"));
   options.capacity_model = flags.get("capacity-model");
 

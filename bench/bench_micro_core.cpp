@@ -372,6 +372,103 @@ BENCHMARK(BM_DeliveryDrain)
     ->Args({100000, 4})
     ->Unit(benchmark::kMillisecond);
 
+// Whole-pipeline throughput: batched dispatch + incremental windowed
+// availability + the memory plane, sequential vs the sharded core, at
+// N=100000.  This is the "everything on" configuration the scale runs use;
+// the memory counters come from the engine's end-of-run telemetry.  Emit
+// BENCH_*.json via
+//   bench_micro_core --benchmark_filter=BM_FullPipeline
+//     --benchmark_out=BENCH_full_pipeline.json --benchmark_out_format=json
+void BM_FullPipeline(benchmark::State& state) {
+  const auto nodes = static_cast<std::size_t>(state.range(0));
+  const auto shards = static_cast<std::size_t>(state.range(1));
+  std::uint64_t delivered = 0;
+  std::uint64_t events = 0;
+  double bytes_per_peer = 0.0;
+  std::uint64_t runs = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    gs::exp::Config config =
+        gs::exp::Config::paper_static(nodes, gs::exp::AlgorithmKind::kFast, 1);
+    config.enable_batch_dispatch(true);
+    config.enable_incremental_availability(true);
+    config.enable_windowed_availability(true);
+    config.enable_parallel_shards(shards);
+    config.enable_peer_pool(true);
+    config.engine.tick_shard_size = 256;   // the scale grain (see README)
+    config.engine.horizon = 5.0;           // pipeline cost, not paper metrics
+    config.engine.history_seconds = 20.0;
+    auto engine = gs::exp::make_engine(config);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(engine->run());
+    delivered += engine->stats().segments_delivered;
+    events += engine->stats().events_popped;
+    bytes_per_peer += engine->stats().bytes_per_peer;
+    ++runs;
+  }
+  state.counters["delivered"] =
+      benchmark::Counter(static_cast<double>(delivered) / static_cast<double>(runs));
+  state.counters["events_popped"] =
+      benchmark::Counter(static_cast<double>(events) / static_cast<double>(runs));
+  state.counters["bytes_per_peer"] =
+      benchmark::Counter(bytes_per_peer / static_cast<double>(runs));
+}
+BENCHMARK(BM_FullPipeline)
+    ->ArgNames({"peers", "shards"})
+    ->Args({100000, 0})
+    ->Args({100000, 4})
+    ->Unit(benchmark::kMillisecond);
+
+// Million-peer memory smoke: one trimmed-dynamics switch experiment at
+// N=10^6, legacy containers (pool=0) vs the memory plane (pool=1).  The
+// point is the footprint, not the wall clock: bytes_per_peer comes from the
+// engine's container accounting and peak_rss_mb from the process high-water
+// mark (cumulative across rows by nature — run one filter per process for
+// clean RSS numbers).  Fixed-seed metrics are bit-identical across the two
+// rows (stream_determinism_test enforces the flag's purity).  Emit
+// BENCH_*.json via
+//   bench_micro_core --benchmark_filter=BM_MillionPeer
+//     --benchmark_out=BENCH_million_peer.json --benchmark_out_format=json
+void BM_MillionPeer(benchmark::State& state) {
+  const auto nodes = static_cast<std::size_t>(state.range(0));
+  const bool pool = state.range(1) != 0;
+  std::uint64_t delivered = 0;
+  double bytes_per_peer = 0.0;
+  double peak_rss = 0.0;
+  std::uint64_t runs = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    gs::exp::Config config =
+        gs::exp::Config::paper_static(nodes, gs::exp::AlgorithmKind::kFast, 1);
+    config.enable_batch_dispatch(true);
+    config.enable_incremental_availability(true);
+    config.enable_windowed_availability(true);
+    config.enable_peer_pool(pool);
+    config.engine.tick_shard_size = 1024;  // wide sweeps; dispatch is not the point
+    config.engine.horizon = 2.0;           // memory smoke, not paper metrics
+    config.engine.history_seconds = 10.0;
+    auto engine = gs::exp::make_engine(config);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(engine->run());
+    delivered += engine->stats().segments_delivered;
+    bytes_per_peer += engine->stats().bytes_per_peer;
+    peak_rss += static_cast<double>(engine->stats().peak_rss_bytes);
+    ++runs;
+  }
+  state.counters["delivered"] =
+      benchmark::Counter(static_cast<double>(delivered) / static_cast<double>(runs));
+  state.counters["bytes_per_peer"] =
+      benchmark::Counter(bytes_per_peer / static_cast<double>(runs));
+  state.counters["peak_rss_mb"] =
+      benchmark::Counter(peak_rss / static_cast<double>(runs) / (1024.0 * 1024.0));
+}
+BENCHMARK(BM_MillionPeer)
+    ->ArgNames({"peers", "pool"})
+    ->Args({1000000, 0})
+    ->Args({1000000, 1})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
 BENCHMARK_MAIN();

@@ -71,6 +71,17 @@ int main(int argc, char** argv) {
   flags.define_bool("sequential-delivery", false,
                     "disable the parallel delivery wave of the sharded core "
                     "(ablation; identical metrics, inline delivery pops)");
+  flags.define_bool("peer-pool", false,
+                    "million-peer memory plane: flat pending/buffer/arrival "
+                    "structures and the plan arena (identical metrics, "
+                    "smaller bytes/peer)");
+  flags.define_int("flash-crowd-joins", 0,
+                   "flash-crowd scenario: this many extra peers join shortly "
+                   "after the first switch (0 = off)");
+  flags.define_double("flash-crowd-start", 0.5,
+                      "seconds after the first switch the crowd starts joining");
+  flags.define_double("flash-crowd-duration", 2.0,
+                      "seconds over which the crowd is admitted");
   flags.define_bool("print-diagnostics", false,
                     "run one fast-algorithm trial per size and print the engine "
                     "diagnostics (events, probes, shard/drain counters)");
@@ -103,6 +114,12 @@ int main(int argc, char** argv) {
   base.engine.tick_shard_size = static_cast<std::size_t>(flags.get_int("tick-shard"));
   base.enable_parallel_shards(static_cast<std::size_t>(flags.get_int("parallel-shards")));
   base.engine.parallel_delivery = !flags.get_bool("sequential-delivery");
+  base.enable_peer_pool(flags.get_bool("peer-pool"));
+  if (flags.get_int("flash-crowd-joins") > 0) {
+    base.enable_flash_crowd(static_cast<std::size_t>(flags.get_int("flash-crowd-joins")),
+                            flags.get_double("flash-crowd-start"),
+                            flags.get_double("flash-crowd-duration"));
+  }
   base.engine.push_fresh_segments = flags.get_bool("push");
   base.engine.push_fanout = static_cast<std::size_t>(flags.get_int("push-fanout"));
 
@@ -116,25 +133,28 @@ int main(int argc, char** argv) {
 
   if (flags.get_bool("print-diagnostics")) {
     std::printf("\nengine diagnostics (one fast-algorithm trial per size)\n");
-    std::printf("%8s %12s %12s %10s %9s %9s %11s %10s %12s %11s\n", "peers", "events",
-                "probes", "idx_upd", "sweeps", "replan", "cross_shard", "dlv_batch",
-                "journal_mrg", "superbatch");
+    std::printf("%8s %12s %12s %10s %9s %9s %11s %10s %12s %11s %9s %11s %9s\n", "peers",
+                "events", "probes", "idx_upd", "sweeps", "replan", "cross_shard", "dlv_batch",
+                "journal_mrg", "superbatch", "flash", "bytes/peer", "rss_mb");
     for (const std::size_t n : sizes) {
       gs::exp::Config config = base;
       config.node_count = n;
       config.algorithm = gs::exp::AlgorithmKind::kFast;
       const gs::exp::RunResult result = gs::exp::run_once(config);
       const gs::stream::EngineStats& s = result.stats;
-      std::printf("%8zu %12llu %12llu %10llu %9llu %9llu %11llu %10llu %12llu %11llu\n", n,
-                  static_cast<unsigned long long>(s.events_popped),
-                  static_cast<unsigned long long>(s.availability_probes),
-                  static_cast<unsigned long long>(s.index_updates),
-                  static_cast<unsigned long long>(s.parallel_sweeps),
-                  static_cast<unsigned long long>(s.replanned_ticks),
-                  static_cast<unsigned long long>(s.cross_shard_events),
-                  static_cast<unsigned long long>(s.delivery_batches),
-                  static_cast<unsigned long long>(s.delta_journal_merges),
-                  static_cast<unsigned long long>(s.superbatch_sweeps));
+      std::printf(
+          "%8zu %12llu %12llu %10llu %9llu %9llu %11llu %10llu %12llu %11llu %9zu %11.0f "
+          "%9.1f\n",
+          n, static_cast<unsigned long long>(s.events_popped),
+          static_cast<unsigned long long>(s.availability_probes),
+          static_cast<unsigned long long>(s.index_updates),
+          static_cast<unsigned long long>(s.parallel_sweeps),
+          static_cast<unsigned long long>(s.replanned_ticks),
+          static_cast<unsigned long long>(s.cross_shard_events),
+          static_cast<unsigned long long>(s.delivery_batches),
+          static_cast<unsigned long long>(s.delta_journal_merges),
+          static_cast<unsigned long long>(s.superbatch_sweeps), s.flash_joins,
+          s.bytes_per_peer, static_cast<double>(s.peak_rss_bytes) / (1024.0 * 1024.0));
     }
   }
   if (!flags.get("csv").empty()) {

@@ -96,6 +96,9 @@ void Config::validate() const {
   if (switch_times.front() < 0.0) {
     throw std::invalid_argument("first switch must be at t >= 0 (warm-up is t < 0)");
   }
+  if (engine.flash_crowd_joins > 0 && engine.flash_crowd_duration < 0.0) {
+    throw std::invalid_argument("flash_crowd_duration must be >= 0");
+  }
 }
 
 Config Config::paper_static(std::size_t node_count, AlgorithmKind algorithm, std::uint64_t seed) {

@@ -90,6 +90,22 @@ struct Config {
   /// batched dispatch.
   void enable_parallel_shards(std::size_t shards) { engine.parallel_shards = shards; }
 
+  /// Turns on the million-peer memory plane (`--peer-pool`): flat
+  /// open-addressed pending maps, ring-backed stream buffers, the bounded
+  /// arrival ring and the per-tick plan arena.  Pure mechanism: fixed-seed
+  /// metrics are bit-identical either way; only bytes/peer and allocation
+  /// traffic change (see EngineStats::bytes_per_peer).
+  void enable_peer_pool(bool on = true) { engine.peer_pool = on; }
+
+  /// Configures the flash-crowd scenario (`--flash-crowd-joins`): `joins`
+  /// extra peers admitted at a uniform pace over `duration` seconds
+  /// starting `start` seconds after the first switch.
+  void enable_flash_crowd(std::size_t joins, double start = 0.5, double duration = 2.0) {
+    engine.flash_crowd_joins = joins;
+    engine.flash_crowd_start = start;
+    engine.flash_crowd_duration = duration;
+  }
+
   /// Throws std::invalid_argument on inconsistent settings.
   void validate() const;
 

@@ -28,6 +28,13 @@ BufferMap BufferMap::from_presence(SegmentId base, std::size_t window_bits,
   return map;
 }
 
+void BufferMap::assign_from_presence(SegmentId base, std::size_t window_bits,
+                                     const util::DynamicBitset& presence) {
+  GS_CHECK_GE(base, 0);
+  base_ = base;
+  bits_.assign_window(presence, static_cast<std::size_t>(base), window_bits);
+}
+
 bool BufferMap::available(SegmentId id) const noexcept {
   if (!in_window(id)) return false;
   return bits_.test(static_cast<std::size_t>(id - base_));

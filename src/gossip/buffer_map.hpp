@@ -41,6 +41,12 @@ class BufferMap {
   /// from an id-indexed presence bitset (bit i of `presence` = id i held).
   [[nodiscard]] static BufferMap from_presence(SegmentId base, std::size_t window_bits,
                                                const util::DynamicBitset& presence);
+
+  /// In-place from_presence: rebuilds this map over [base, base +
+  /// window_bits), reusing the bit storage so per-advert scratch maps stop
+  /// allocating.
+  void assign_from_presence(SegmentId base, std::size_t window_bits,
+                            const util::DynamicBitset& presence);
   /// Availability of `id`; false outside the window.
   [[nodiscard]] bool available(SegmentId id) const noexcept;
 
@@ -57,6 +63,9 @@ class BufferMap {
 
   /// Wire size in bits: 20 (base id) + window bits.
   [[nodiscard]] std::size_t wire_bits() const noexcept { return kBaseIdBits + bits_.size(); }
+
+  /// Heap bytes owned by the bit storage.
+  [[nodiscard]] std::size_t memory_bytes() const noexcept { return bits_.memory_bytes(); }
 
   /// Serializes to bytes: 3-byte little-endian truncated base id (20 bits
   /// zero-padded to 24) followed by the packed bitmap.

@@ -26,7 +26,7 @@ void AvailabilityIndex::set_window(std::size_t span_bits) {
 void AvailabilityIndex::build(const net::Graph& graph, const std::vector<PeerNode>& peers) {
   views_.assign(peers.size(), View{});
   for (net::NodeId v = 0; v < peers.size(); ++v) {
-    if (peers[v].alive && !peers[v].is_source) build_view(graph, peers, v);
+    if (peers[v].alive() && !peers[v].is_source()) build_view(graph, peers, v);
   }
   enabled_ = true;
 }
@@ -41,7 +41,7 @@ void AvailabilityIndex::build_view(const net::Graph& graph, const std::vector<Pe
     w.supplied.resize(window_span_);
   }
   for (const net::NodeId nb : graph.neighbors(v)) {
-    if (!peers[nb].alive) continue;
+    if (!peers[nb].alive()) continue;
     w.alive_neighbors.push_back(nb);  // graph adjacency is sorted by id
     add_supplier(w, peers[nb]);
   }
@@ -176,7 +176,7 @@ void AvailabilityIndex::add_supplier(View& w, const PeerNode& neighbor) const {
     if (w.supplier_count[slot]++ == 0) w.supplied.set(slot);
   }
   w.head = std::max(w.head, neighbor.buffer.max_id());
-  w.boundary_max = std::max(w.boundary_max, neighbor.known_boundary);
+  w.boundary_max = std::max(w.boundary_max, neighbor.known_boundary());
 }
 
 void AvailabilityIndex::remove_supplier(View& w, const PeerNode& neighbor) const {
@@ -201,7 +201,7 @@ void AvailabilityIndex::recompute_head(View& w, const std::vector<PeerNode>& pee
 void AvailabilityIndex::recompute_boundary(View& w, const std::vector<PeerNode>& peers) {
   w.boundary_max = -1;
   for (const net::NodeId nb : w.alive_neighbors) {
-    w.boundary_max = std::max(w.boundary_max, peers[nb].known_boundary);
+    w.boundary_max = std::max(w.boundary_max, peers[nb].known_boundary());
   }
 }
 
@@ -232,7 +232,7 @@ void AvailabilityIndex::remove_peer(const net::Graph& graph, const std::vector<P
     w.alive_neighbors.erase(it);
     remove_supplier(w, leaver);
     if (leaver.buffer.max_id() == w.head) recompute_head(w, peers);
-    if (leaver.known_boundary == w.boundary_max) recompute_boundary(w, peers);
+    if (leaver.known_boundary() == w.boundary_max) recompute_boundary(w, peers);
     ++updates_;
   }
   views_[v] = View{};
@@ -243,7 +243,7 @@ void AvailabilityIndex::connect(const std::vector<PeerNode>& peers, net::NodeId 
   for (const auto& [self, other] : {std::pair{u, v}, std::pair{v, u}}) {
     View& w = views_[self];
     if (!w.built) continue;  // sources keep no view but still gain edges
-    if (!peers[other].alive) continue;
+    if (!peers[other].alive()) continue;
     w.alive_neighbors.insert(
         std::lower_bound(w.alive_neighbors.begin(), w.alive_neighbors.end(), other), other);
     add_supplier(w, peers[other]);

@@ -18,7 +18,6 @@ Engine::Engine(net::Graph graph, net::LatencyModel latency, EngineConfig config,
     : graph_(std::move(graph)),
       latency_(std::move(latency)),
       config_(std::move(config)),
-      strategy_(std::move(strategy)),
       sim_(-config_.warmup),
       overhead_(config_.wire),
       membership_(graph_, config_.membership_degree,
@@ -28,7 +27,11 @@ Engine::Engine(net::Graph graph, net::LatencyModel latency, EngineConfig config,
                  config_.token_bucket_burst),
       churn_rng_(util::Rng(config_.seed).fork(util::hash_name("churn"))),
       setup_rng_(util::Rng(config_.seed).fork(util::hash_name("setup"))) {
-  GS_CHECK(strategy_ != nullptr);
+  GS_CHECK(strategy != nullptr);
+  strategies_.push_back(std::move(strategy));
+  // The per-tick arena is single-threaded; parallel plan lanes keep heap
+  // allocation (their supplier lists get the null-arena fallback).
+  use_plan_arena_ = config_.peer_pool && config_.parallel_shards == 0;
   GS_CHECK_EQ(latency_.node_count(), graph_.node_count());
   GS_CHECK(!config_.delta_maps || config_.incremental_availability)
       << "delta_maps requires incremental_availability";
@@ -124,11 +127,11 @@ void Engine::schedule_switch(int switch_index) {
     SwitchMetrics& m = timeline_.metrics(switch_index);
     const Session& old = timeline_.session(static_cast<std::size_t>(switch_index));
     for (PeerNode& p : peers_) {
-      if (p.is_source || !p.alive) continue;
+      if (p.is_source() || !p.alive()) continue;
       // A peer still mid-way through the previous switch is censored there.
       timeline_.censor_stale(p, switch_index);
       timeline_.init_switch_counters(p, switch_index, now, config_.q_startup);
-      p.tracked = true;
+      p.tracked() = true;
       ++m.tracked;
       // Rare: the peer already played past the old stream's end (it was at
       // the live head).  Its finish delay is zero by definition.
@@ -163,8 +166,8 @@ void Engine::tick(PeerNode& p, double now) {
 }
 
 bool Engine::tick_pre(PeerNode& p, double now, NeighborScan& scan) {
-  if (!p.alive || p.is_source) return false;
-  p.in_budget.replenish(config_.tau);
+  if (!p.alive() || p.is_source()) return false;
+  p.in_budget().replenish(config_.tau);
   snapshot_and_learn(p, scan);
   p.prune_pending(now);
 
@@ -187,7 +190,11 @@ void Engine::tick_plan(PeerNode& p, double now, const NeighborScan& scan, TickPl
   plan.candidates.clear();
   plan.requests.clear();
   plan.probes = 0;
-  if (p.in_budget.whole() == 0) return;
+  // Sequential dispatch reuses one plan slot, so the prior tick's supplier
+  // lists are dead (cleared above; their deallocate is a no-op) and the
+  // arena can rewind before this tick's candidate build fills it.
+  if (use_plan_arena_) plan_arena_.reset();
+  if (p.in_budget().whole() == 0) return;
   plan.planned = true;
   plan.rng_before = p.rng;
   plan.stamp = capacity_commits_;
@@ -198,23 +205,23 @@ void Engine::tick_plan(PeerNode& p, double now, const NeighborScan& scan, TickPl
   ctx.now = now;
   ctx.period = config_.tau;
   ctx.playback_rate = config_.playback_rate;
-  ctx.inbound_rate = p.inbound_rate;
+  ctx.inbound_rate = p.inbound_rate();
   ctx.id_play = p.playback_anchor();
   ctx.q_consecutive = config_.q_consecutive;
   ctx.q_startup = config_.q_startup;
   ctx.buffer_capacity = config_.buffer_capacity;
-  ctx.max_requests = p.in_budget.whole();
+  ctx.max_requests = p.in_budget().whole();
   ctx.rng = &p.rng;
-  plan.split_active = p.active_switch >= 0 && p.known_boundary >= p.active_switch &&
-                      !p.sw_prepared;
+  plan.split_active = p.active_switch() >= 0 && p.known_boundary() >= p.active_switch() &&
+                      !p.sw_prepared();
   if (plan.split_active) {
-    plan.s1_end = timeline_.session(static_cast<std::size_t>(p.active_switch)).last;
+    plan.s1_end = timeline_.session(static_cast<std::size_t>(p.active_switch())).last;
     ctx.s1_end = plan.s1_end;
     ctx.s2_begin = ctx.s1_end + 1;
-    ctx.q1_remaining = p.q1_missing;
-    ctx.q2_remaining = p.q2_missing;
+    ctx.q1_remaining = p.q1_missing();
+    ctx.q2_remaining = p.q2_missing();
   }
-  plan.requests = p.strategy->schedule(ctx, plan.candidates);
+  plan.requests = strategies_[p.strategy_index()]->schedule(ctx, plan.candidates);
 }
 
 bool Engine::plan_is_stale(const PeerNode& p, const NeighborScan& scan,
@@ -266,7 +273,7 @@ void Engine::tick_commit(PeerNode& p, double now, const NeighborScan& scan, Tick
   // lazily: most ticks see no rejection at all.
   std::unordered_map<SegmentId, const CandidateSegment*> by_id;
   for (const ScheduledRequest& r : plan.requests) {
-    if (p.in_budget.whole() == 0) break;
+    if (p.in_budget().whole() == 0) break;
     if (issue_one(p, r.id, r.supplier, now)) continue;
     if (by_id.empty()) {
       by_id.reserve(plan.candidates.size());
@@ -341,7 +348,7 @@ void Engine::snapshot_and_learn(PeerNode& p, NeighborScan& scan) {
     } else {
       overhead_.charge_buffer_map_exchanges(view.alive_neighbors.size());
     }
-    if (config_.discover_via_maps && view.boundary_max > p.known_boundary) {
+    if (config_.discover_via_maps && view.boundary_max > p.known_boundary()) {
       learn_boundaries(p, view.boundary_max, sim_.now());
     }
     return;
@@ -353,28 +360,32 @@ void Engine::snapshot_and_learn(PeerNode& p, NeighborScan& scan) {
   scan.alive.clear();
   scan.head = kNoSegment;
   scan.owner = p.id;
-  int best_boundary = p.known_boundary;
+  int best_boundary = p.known_boundary();
   for (const net::NodeId nb : graph_.neighbors(p.id)) {
     const PeerNode& n = peers_[nb];
-    if (!n.alive) continue;
+    if (!n.alive()) continue;
     overhead_.charge_buffer_map_exchange();
     scan.alive.push_back(nb);
     scan.head = std::max(scan.head, n.buffer.max_id());
-    if (config_.discover_via_maps) best_boundary = std::max(best_boundary, n.known_boundary);
+    if (config_.discover_via_maps) best_boundary = std::max(best_boundary, n.known_boundary());
   }
-  if (best_boundary > p.known_boundary) learn_boundaries(p, best_boundary, sim_.now());
+  if (best_boundary > p.known_boundary()) learn_boundaries(p, best_boundary, sim_.now());
 }
 
 void Engine::advert_availability(PeerNode& p, std::size_t receivers) {
   const std::size_t window = config_.wire.buffer_window_bits;
-  gossip::BufferMap current = p.buffer.build_map(window);
+  // The advert runs in the sequential pre phase, so one engine-wide scratch
+  // map serves every peer: build into it, diff, then swap it with the
+  // peer's advertised map (both keep their bit-storage capacity, so the
+  // steady state allocates nothing).
+  p.buffer.build_map_into(window, advert_scratch_);
   // Full map on the first advert and every map_refresh_period-th one
   // (receivers resynchronise), or when the delta would not pay for itself.
   bool refresh = p.advertised_map.window() != window ||
                  p.adverts_since_refresh + 1 >= config_.map_refresh_period;
   gossip::BufferMapDelta delta;
   if (!refresh) {
-    delta = gossip::BufferMapDelta::diff(p.advertised_map, current);
+    delta = gossip::BufferMapDelta::diff(p.advertised_map, advert_scratch_);
     // Judge "delta beats full map" in the same wire model that gets
     // charged, so ablated delta framing sizes keep the rule honest.
     refresh = !delta.encodable() ||
@@ -390,7 +401,7 @@ void Engine::advert_availability(PeerNode& p, std::size_t receivers) {
     ++p.adverts_since_refresh;
     ++stats_.delta_adverts;
   }
-  p.advertised_map = std::move(current);
+  std::swap(p.advertised_map, advert_scratch_);
 }
 
 void Engine::build_candidates(PeerNode& p, double now, const NeighborScan& scan,
@@ -409,10 +420,11 @@ void Engine::build_candidates(PeerNode& p, double now, const NeighborScan& scan,
       std::min<SegmentId>(head, from + static_cast<SegmentId>(config_.buffer_capacity) - 1);
 
   const bool split_active =
-      p.active_switch >= 0 && p.known_boundary >= p.active_switch;
+      p.active_switch() >= 0 && p.known_boundary() >= p.active_switch();
   const SegmentId boundary =
-      split_active ? timeline_.session(static_cast<std::size_t>(p.active_switch)).last
+      split_active ? timeline_.session(static_cast<std::size_t>(p.active_switch())).last
                    : kNoSegment;
+  const util::ArenaAllocator<SupplierView> salloc(use_plan_arena_ ? &plan_arena_ : nullptr);
 
   // Legacy iterates every missing id and discovers per id that nobody
   // supplies it; the index jumps straight to missing-and-supplied ids
@@ -431,9 +443,9 @@ void Engine::build_candidates(PeerNode& p, double now, const NeighborScan& scan,
   };
 
   for (SegmentId id = next_candidate(from); id <= to; id = next_candidate(id + 1)) {
-    const auto pending_it = p.pending.find(id);
-    if (pending_it != p.pending.end() && pending_it->second > now) continue;
-    CandidateSegment c;
+    const double* retry_at = p.pending.find(id);
+    if (retry_at != nullptr && *retry_at > now) continue;
+    CandidateSegment c(salloc);
     c.id = id;
     c.epoch = (boundary != kNoSegment && id > boundary) ? StreamEpoch::kNew : StreamEpoch::kOld;
     // Deferred to the commit phase: build may run on a pool thread.
@@ -443,7 +455,7 @@ void Engine::build_candidates(PeerNode& p, double now, const NeighborScan& scan,
       if (!n.buffer.contains(id)) continue;
       SupplierView s;
       s.node = nb;
-      s.send_rate = n.outbound_rate;
+      s.send_rate = n.outbound_rate();
       s.buffer_position = n.buffer.position_from_tail(id);
       // The paper's R_ij is a *measured* per-link receiving rate, which in
       // a real system reflects the link's current load.  Expose the backlog
@@ -459,7 +471,7 @@ void Engine::build_candidates(PeerNode& p, double now, const NeighborScan& scan,
 bool Engine::issue_one(PeerNode& p, SegmentId id, net::NodeId supplier, double now) {
   GS_CHECK_LT(supplier, peers_.size());
   PeerNode& s = peers_[supplier];
-  if (!s.alive || !s.buffer.contains(id) || !transfers_.request(p, s, id, now)) {
+  if (!s.alive() || !s.buffer.contains(id) || !transfers_.request(p, s, id, now)) {
     ++p.requests_rejected;
     ++stats_.requests_rejected;
     return false;
@@ -468,8 +480,8 @@ bool Engine::issue_one(PeerNode& p, SegmentId id, net::NodeId supplier, double n
   // members' speculative plans can detect stale queue-delay reads.
   if (!dirty_supplier_.empty()) dirty_supplier_[supplier] = ++capacity_commits_;
   overhead_.charge_request(1);
-  p.in_budget.spend(1.0);
-  p.pending[id] = now + config_.pending_timeout;
+  p.in_budget().spend(1.0);
+  p.pending.set(id, now + config_.pending_timeout);
   ++p.requests_issued;
   ++stats_.requests_issued;
   return true;
@@ -480,7 +492,7 @@ bool Engine::issue_one(PeerNode& p, SegmentId id, net::NodeId supplier, double n
 void Engine::on_delivery(net::NodeId to, SegmentId id) {
   PeerNode& p = peers_[to];
   p.pending.erase(id);
-  if (!p.alive) return;  // left while the segment was in flight
+  if (!p.alive()) return;  // left while the segment was in flight
   deliver_segment(p, id, sim_.now(), /*count_wire=*/true);
 }
 
@@ -513,14 +525,14 @@ void Engine::deliver_bookkeeping(PeerNode& p, SegmentId id, double now, bool cou
 
   // Segments of session k announce the end of session k-1 (§3).
   const SegmentInfo& info = registry_.info(id);
-  if (info.session > 0 && p.known_boundary < info.session - 1) {
+  if (info.session > 0 && p.known_boundary() < info.session - 1) {
     learn_boundaries(p, info.session - 1, now);
   }
 
   // Startup rule bookkeeping: extend the contiguous run from start_id.
-  if (id >= p.start_id) p.extend_start_run();
+  if (id >= p.start_id()) p.extend_start_run();
 
-  if (!p.is_source) {
+  if (!p.is_source()) {
     on_switch_progress(p, id, now);
     maybe_start_playback(p, now);
     p.playback.notify_arrival(id, now);
@@ -579,7 +591,7 @@ void Engine::on_delivery_batch(const sim::PooledBatchItem* items, std::size_t co
       const auto id = static_cast<SegmentId>(items[idx].b);
       PeerNode& p = peers_[to];
       p.pending.erase(id);
-      if (!p.alive) continue;  // left while the segment was in flight
+      if (!p.alive()) continue;  // left while the segment was in flight
       if (batch_peer_count_[to] > 1) {
         batch_outcomes_[idx] = MarkOutcome::kDeferred;
         continue;
@@ -670,7 +682,7 @@ void Engine::push_to_neighbors(PeerNode& p, SegmentId id, double now) {
   std::vector<net::NodeId> lacking;
   for (const net::NodeId nb : neighbors) {
     const PeerNode& n = peers_[nb];
-    if (n.alive && !n.buffer.contains(id)) lacking.push_back(nb);
+    if (n.alive() && !n.buffer.contains(id)) lacking.push_back(nb);
   }
   p.rng.shuffle(lacking);
   std::size_t pushed = 0;
@@ -685,45 +697,45 @@ void Engine::push_to_neighbors(PeerNode& p, SegmentId id, double now) {
 // --------------------------------------------------- switch bookkeeping ---
 
 void Engine::learn_boundaries(PeerNode& p, int up_to, double now) {
-  if (up_to <= p.known_boundary) return;
-  p.known_boundary = up_to;
+  if (up_to <= p.known_boundary()) return;
+  p.known_boundary() = up_to;
   if (availability_.enabled()) availability_.on_boundary(graph_, p.id, up_to);
-  if (p.is_source) return;
-  if (p.active_switch >= 0 && up_to >= p.active_switch && !p.gate_armed &&
+  if (p.is_source()) return;
+  if (p.active_switch() >= 0 && up_to >= p.active_switch() && !p.gate_armed() &&
       p.playback.gate() == kNoSegment) {
     const SegmentId gate_id =
-        timeline_.session(static_cast<std::size_t>(p.active_switch)).last + 1;
+        timeline_.session(static_cast<std::size_t>(p.active_switch())).last + 1;
     if (!p.playback.started() || p.playback.cursor() <= gate_id) {
       p.playback.set_gate(gate_id);
-      p.gate_armed = true;
+      p.gate_armed() = true;
       maybe_release_gate(p, now);
     } else {
-      p.gate_armed = true;  // already past the boundary; nothing to gate
+      p.gate_armed() = true;  // already past the boundary; nothing to gate
     }
   }
 }
 
 void Engine::on_switch_progress(PeerNode& p, SegmentId id, double now) {
-  if (p.active_switch < 0) return;
-  const int k = p.active_switch;
+  if (p.active_switch() < 0) return;
+  const int k = p.active_switch();
   const Session& old = timeline_.session(static_cast<std::size_t>(k));
-  if (id >= p.sw_lo && id <= old.last) {
-    if (p.q1_missing > 0) --p.q1_missing;
+  if (id >= p.sw_lo() && id <= old.last) {
+    if (p.q1_missing() > 0) --p.q1_missing();
   } else if (id > old.last) {
     const SegmentId begin = old.last + 1;
-    if (id < begin + static_cast<SegmentId>(required_prefix(k)) && p.q2_missing > 0) {
-      --p.q2_missing;
-      if (p.q2_missing == 0) record_prepared(p, k, now);
+    if (id < begin + static_cast<SegmentId>(required_prefix(k)) && p.q2_missing() > 0) {
+      --p.q2_missing();
+      if (p.q2_missing() == 0) record_prepared(p, k, now);
     }
   }
   maybe_release_gate(p, now);
 }
 
 void Engine::maybe_release_gate(PeerNode& p, double now) {
-  if (!p.gate_armed || p.playback.gate() == kNoSegment) return;
-  const int k = p.active_switch;
+  if (!p.gate_armed() || p.playback.gate() == kNoSegment) return;
+  const int k = p.active_switch();
   GS_CHECK_GE(k, 0);
-  bool ready = p.q2_missing == 0;
+  bool ready = p.q2_missing() == 0;
   if (!ready && timeline_.session(static_cast<std::size_t>(k) + 1).ended()) {
     // Short final session: release once everything that exists arrived.
     const Session& next = timeline_.session(static_cast<std::size_t>(k) + 1);
@@ -733,9 +745,9 @@ void Engine::maybe_release_gate(PeerNode& p, double now) {
 }
 
 void Engine::maybe_start_playback(PeerNode& p, double now) {
-  if (p.is_source || p.playback.started()) return;
-  if (p.start_run >= config_.q_consecutive) {
-    p.playback.start(p.start_id, now);
+  if (p.is_source() || p.playback.started()) return;
+  if (p.start_run() >= config_.q_consecutive) {
+    p.playback.start(p.start_id(), now);
     advance_playback(p, now);
   }
 }
@@ -748,7 +760,7 @@ void Engine::advance_playback(PeerNode& p, double now) {
         const int end_switch = timeline_.switch_ending_at(id);
         if (end_switch >= 0) record_finish(p, end_switch, play_time);
         const int start_switch = timeline_.switch_ending_at(id - 1);
-        if (start_switch >= 0 && p.tracked && p.active_switch == start_switch) {
+        if (start_switch >= 0 && p.tracked() && p.active_switch() == start_switch) {
           SwitchMetrics& m = timeline_.metrics(start_switch);
           m.s2_start_times.push_back(play_time - m.switch_time);
         }
@@ -756,9 +768,9 @@ void Engine::advance_playback(PeerNode& p, double now) {
 }
 
 void Engine::record_finish(PeerNode& p, int switch_index, double play_time) {
-  if (p.sw_finished || p.active_switch != switch_index) return;
-  p.sw_finished = true;
-  if (!p.tracked) return;
+  if (p.sw_finished() || p.active_switch() != switch_index) return;
+  p.sw_finished() = true;
+  if (!p.tracked()) return;
   SwitchMetrics& m = timeline_.metrics(switch_index);
   m.finish_times.push_back(play_time - m.switch_time);
   ++m.finished_s1;
@@ -766,9 +778,9 @@ void Engine::record_finish(PeerNode& p, int switch_index, double play_time) {
 }
 
 void Engine::record_prepared(PeerNode& p, int switch_index, double now) {
-  if (p.sw_prepared || p.active_switch != switch_index) return;
-  p.sw_prepared = true;
-  if (!p.tracked) return;
+  if (p.sw_prepared() || p.active_switch() != switch_index) return;
+  p.sw_prepared() = true;
+  if (!p.tracked()) return;
   SwitchMetrics& m = timeline_.metrics(switch_index);
   m.prepared_times.push_back(now - m.switch_time);
   ++m.prepared_s2;

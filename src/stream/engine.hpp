@@ -162,6 +162,28 @@ struct EngineConfig {
   /// kTokenBucket burst depth in segments (>= 1; 1 degenerates to
   /// kSharedFifo's serialised spacing).
   double token_bucket_burst = 4.0;
+  /// Million-peer memory plane.  Per-tick-hot peer scalars always live in
+  /// the engine's struct-of-arrays PeerPool; this flag additionally swaps
+  /// the per-peer node-based containers for flat ones — the stream buffer's
+  /// deque + unordered_map become a fixed ring + open-addressed map, the
+  /// pending-request book and the playback arrival record lose their heap
+  /// nodes — and backs the sequential tick plan's supplier lists with a
+  /// per-tick bump arena.  Pure mechanism like batch_dispatch: fixed-seed
+  /// metrics are bit-identical with the flag on or off at every shard count
+  /// (enforced by stream_determinism_test); only memory layout and
+  /// allocation traffic change (see EngineStats::bytes_per_peer and bench
+  /// BM_MillionPeer).
+  bool peer_pool = false;
+  /// Flash-crowd scenario: this many extra peers join at a uniform pace
+  /// over [flash_crowd_start, flash_crowd_start + flash_crowd_duration)
+  /// (seconds, experiment time — the first switch is at 0, so the defaults
+  /// land the crowd right on a source switch).  0 disables.  Joins run
+  /// through the regular churn join path (membership, ping sampling,
+  /// neighbour-derived start point), so the scenario composes with every
+  /// other flag and stays deterministic for a fixed seed.
+  std::size_t flash_crowd_joins = 0;
+  double flash_crowd_start = 0.5;
+  double flash_crowd_duration = 2.0;
   /// Incremental availability plane: maintain each peer's merged view of
   /// neighbour availability (per-segment supplier counts, cached head,
   /// cached boundary max) by deltas pushed from deliveries, evictions,
@@ -256,6 +278,15 @@ struct EngineStats {
   std::uint64_t delivery_batches = 0;
   std::uint64_t delta_journal_merges = 0;
   std::uint64_t superbatch_sweeps = 0;
+  /// Flash-crowd joiners admitted (subset of `joins`).
+  std::size_t flash_joins = 0;
+  /// Memory-plane telemetry, filled at the end of run(): heap bytes of all
+  /// per-peer state (SoA pool + each node's containers), the same divided
+  /// by the final peer count, and the process-wide peak RSS (0 when the
+  /// platform offers no probe; includes non-peer state by nature).
+  std::uint64_t peer_state_bytes = 0;
+  double bytes_per_peer = 0.0;
+  std::uint64_t peak_rss_bytes = 0;
 };
 
 class Engine {
@@ -460,7 +491,11 @@ class Engine {
   net::Graph graph_;
   net::LatencyModel latency_;
   EngineConfig config_;
-  std::shared_ptr<SchedulerStrategy> strategy_;
+  /// Scheduler-strategy registry: peers carry a one-byte index into this
+  /// table (see PeerNode::strategy_index) instead of a shared_ptr each.
+  /// Entry 0 is the injected strategy; heterogeneous policies are an
+  /// extra push_back.
+  std::vector<std::shared_ptr<SchedulerStrategy>> strategies_;
 
   sim::Simulator sim_;
   gossip::OverheadAccountant overhead_;
@@ -473,10 +508,22 @@ class Engine {
   AvailabilityIndex availability_;
 
   std::vector<PeerNode> peers_;
+  /// Struct-of-arrays hot peer state; every element of peers_ is bound to
+  /// its slot here (see peer_pool.hpp).
+  PeerPool pool_;
 
   /// Sequential tick scratch (single-threaded dispatch paths).
   NeighborScan scan_seq_;
   TickPlan plan_seq_;
+  /// Per-tick bump arena behind the sequential plan's supplier lists
+  /// (config_.peer_pool with parallel_shards == 0; the arena is
+  /// single-threaded, so parallel plan lanes keep heap allocation).  Reset
+  /// at the top of every sequential plan — prior plans are dead by then.
+  util::Arena plan_arena_;
+  bool use_plan_arena_ = false;
+  /// Advert scratch: build_map_into target reused across all peers' adverts
+  /// (swapped with p.advertised_map under delta accounting).
+  gossip::BufferMap advert_scratch_;
   /// Per-member slots for the sharded sweep pipeline (parallel_shards > 0);
   /// sized to the largest sweep seen and reused.
   std::vector<NeighborScan> batch_scans_;
@@ -525,6 +572,9 @@ class Engine {
   std::unique_ptr<sim::PeriodicTask> generation_task_;
   std::unique_ptr<sim::PeriodicTask> churn_task_;
   std::unique_ptr<sim::PeriodicTask> sampler_task_;
+  /// Flash-crowd admission pump (config_.flash_crowd_joins > 0).
+  std::unique_ptr<sim::PeriodicTask> flash_task_;
+  std::size_t flash_joined_ = 0;
 
   /// Batched tick dispatch (config_.batch_dispatch only).
   std::unique_ptr<sim::BatchTicker> ticker_;

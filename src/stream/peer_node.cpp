@@ -40,17 +40,18 @@ std::size_t PeerNode::count_missing(SegmentId lo, SegmentId hi) const {
   return missing;
 }
 
-void PeerNode::prune_pending(double now) {
-  for (auto it = pending.begin(); it != pending.end();) {
-    it = it->second <= now ? pending.erase(it) : std::next(it);
+void PeerNode::extend_start_run() {
+  const std::size_t base = static_cast<std::size_t>(start_id());
+  std::uint32_t& run = start_run();
+  while (base + run < received.size() && received.test(base + run)) {
+    ++run;
   }
 }
 
-void PeerNode::extend_start_run() {
-  while (static_cast<std::size_t>(start_id) + start_run < received.size() &&
-         received.test(static_cast<std::size_t>(start_id) + start_run)) {
-    ++start_run;
-  }
+std::size_t PeerNode::memory_bytes() const noexcept {
+  return sizeof(PeerNode) + buffer.memory_bytes() + playback.memory_bytes() +
+         received.memory_bytes() + pending.memory_bytes() +
+         advertised_map.memory_bytes();
 }
 
 }  // namespace gs::stream

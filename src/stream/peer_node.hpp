@@ -1,11 +1,18 @@
 // Per-peer state and node-local bookkeeping.
 //
 // A PeerNode owns everything that belongs to exactly one peer: its stream
-// buffer and playback engine, its bandwidth budget, its scheduler-strategy
-// handle, its gossip availability state (received set, pending requests) and
-// its per-switch Q1/Q2 counters.  Cross-peer mechanism — uplink queues,
-// deliveries, the switch timeline — lives in TransferPlane / SwitchTimeline;
-// the engine wires them together.
+// buffer and playback engine, its gossip availability state (received set,
+// pending requests) and its identity.  The per-tick-hot scalars — alive
+// flag, rates, budget, switch counters — live in a struct-of-arrays
+// PeerPool (see peer_pool.hpp); PeerNode holds a (pool, index) binding and
+// exposes reference-returning accessors so call sites keep their shape
+// (`p.alive() = false`, `--p.q1_missing()`).  The engine binds all peers to
+// one shared pool; an unbound node lazily creates a private single-slot
+// pool on first access, so standalone PeerNodes (tests, transients) still
+// work and default construction allocates nothing.
+//
+// Cross-peer mechanism — uplink queues, deliveries, the switch timeline —
+// lives in TransferPlane / SwitchTimeline; the engine wires them together.
 #pragma once
 
 #include <cstdint>
@@ -14,11 +21,12 @@
 
 #include "net/graph.hpp"
 #include "sim/periodic.hpp"
-#include "stream/bandwidth.hpp"
+#include "stream/peer_pool.hpp"
 #include "stream/playback.hpp"
 #include "stream/scheduler.hpp"
 #include "stream/stream_buffer.hpp"
 #include "util/bitset.hpp"
+#include "util/flat_map.hpp"
 #include "util/rng.hpp"
 
 namespace gs::stream {
@@ -26,49 +34,84 @@ namespace gs::stream {
 /// "No batch-ticker group" sentinel for PeerNode::tick_group.
 inline constexpr std::size_t kNoTickGroup = static_cast<std::size_t>(-1);
 
+/// In-flight request book: segment id -> retry-eligible time.  Runs in one
+/// of two modes chosen at peer init: the legacy std::unordered_map, or the
+/// flat open-addressed FlatSegmentMap (EngineConfig::peer_pool) which keeps
+/// entries inline and owns no heap while empty.  Both modes expose the same
+/// operations and, because the engine only ever asks point queries and
+/// value-predicate prunes, identical observable behaviour.
+class PendingMap {
+ public:
+  /// Selects the flat backend.  Only valid while empty (peer init).
+  void use_flat(bool flat) noexcept { flat_mode_ = flat; }
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return flat_mode_ ? flat_.size() : legacy_.size();
+  }
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+
+  [[nodiscard]] const double* find(SegmentId id) const noexcept {
+    if (flat_mode_) return flat_.find(id);
+    const auto it = legacy_.find(id);
+    return it == legacy_.end() ? nullptr : &it->second;
+  }
+  [[nodiscard]] bool contains(SegmentId id) const noexcept { return find(id) != nullptr; }
+
+  /// Inserts or overwrites the retry time for `id`.
+  void set(SegmentId id, double retry_at) {
+    if (flat_mode_) {
+      flat_.set(id, retry_at);
+    } else {
+      legacy_[id] = retry_at;
+    }
+  }
+
+  bool erase(SegmentId id) noexcept {
+    return flat_mode_ ? flat_.erase(id) : legacy_.erase(id) > 0;
+  }
+
+  /// Drops every entry whose retry time is <= `now`.
+  void prune(double now) {
+    if (flat_mode_) {
+      flat_.erase_if([now](double retry_at) { return retry_at <= now; });
+      return;
+    }
+    for (auto it = legacy_.begin(); it != legacy_.end();) {
+      it = it->second <= now ? legacy_.erase(it) : std::next(it);
+    }
+  }
+
+  void clear() noexcept {
+    flat_.clear();
+    legacy_.clear();
+  }
+
+  /// Heap bytes owned by the active backend.
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    if (flat_mode_) return flat_.memory_bytes();
+    // Node-based estimate: bucket array + one node (two pointers of
+    // overhead plus the payload) per entry.
+    return legacy_.bucket_count() * sizeof(void*) +
+           legacy_.size() * (sizeof(std::pair<SegmentId, double>) + 2 * sizeof(void*));
+  }
+
+ private:
+  util::FlatSegmentMap<double> flat_;
+  std::unordered_map<SegmentId, double> legacy_;
+  bool flat_mode_ = false;
+};
+
 struct PeerNode {
   net::NodeId id = 0;
-  bool is_source = false;
-  bool alive = true;
-  double inbound_rate = 0.0;
-  double outbound_rate = 0.0;
 
   StreamBuffer buffer{600};
   Playback playback{10.0};
-  RateBudget in_budget;
-  /// Scheduling policy this peer runs each period (shared across peers
-  /// today — strategies are stateless per call — but held per node so
-  /// heterogeneous policies stay a config change, not a refactor).
-  std::shared_ptr<SchedulerStrategy> strategy;
 
   /// Ever-received segment ids (play/accounting source of truth; survives
   /// buffer eviction).
   util::DynamicBitset received;
   /// id -> retry-eligible time for in-flight requests.
-  std::unordered_map<SegmentId, double> pending;
-
-  /// First id this peer needs (joiners skip the back catalogue).
-  SegmentId start_id = 0;
-  /// Contiguous run of received ids starting at start_id (startup rule).
-  std::size_t start_run = 0;
-
-  /// Highest switch index whose boundary this peer knows (-1 = none).
-  int known_boundary = -1;
-  /// Switch currently being worked (-1 = none).  Valid once the timeline's
-  /// switch event initialised the counters below.
-  int active_switch = -1;
-  /// Q1: undelivered old-stream segments for the active switch.
-  std::size_t q1_missing = 0;
-  /// Q2: undelivered segments of the new stream's Qs-prefix.
-  std::size_t q2_missing = 0;
-  /// Snapshot of q1_missing at the switch instant (Q0).
-  std::size_t q0_at_switch = 0;
-  /// Lower bound of this peer's old-stream needs for the active switch.
-  SegmentId sw_lo = 0;
-  bool sw_finished = false;  ///< finished playback of the old stream
-  bool sw_prepared = false;  ///< gathered the new stream's prefix
-  bool tracked = false;      ///< counted in the active switch's metrics
-  bool gate_armed = false;   ///< playback gate set for the active switch
+  PendingMap pending;
 
   util::Rng rng;
   /// Per-peer dispatch: the repeating tick event (null under batching).
@@ -88,6 +131,69 @@ struct PeerNode {
   std::uint64_t requests_rejected = 0;
   std::uint64_t duplicates_received = 0;
 
+  /// Attaches this node to slot `index` of an engine-owned pool.  The pool
+  /// must outlive the node (the engine owns both).
+  void bind(PeerPool& pool, std::size_t index) noexcept {
+    pool_ = &pool;
+    idx_ = index;
+  }
+
+  // Hot-scalar accessors.  Non-const overloads return references into the
+  // pool (uint8_t for flags: `p.tracked() = true` and `if (p.tracked())`
+  // both work); const overloads return values.
+  [[nodiscard]] bool is_source() const { return pool().is_source(idx_) != 0; }
+  [[nodiscard]] std::uint8_t& is_source() { return pool().is_source(idx_); }
+  [[nodiscard]] bool alive() const { return pool().alive(idx_) != 0; }
+  [[nodiscard]] std::uint8_t& alive() { return pool().alive(idx_); }
+  [[nodiscard]] double inbound_rate() const { return pool().inbound_rate(idx_); }
+  [[nodiscard]] double& inbound_rate() { return pool().inbound_rate(idx_); }
+  [[nodiscard]] double outbound_rate() const { return pool().outbound_rate(idx_); }
+  [[nodiscard]] double& outbound_rate() { return pool().outbound_rate(idx_); }
+  [[nodiscard]] const RateBudget& in_budget() const { return pool().in_budget(idx_); }
+  [[nodiscard]] RateBudget& in_budget() { return pool().in_budget(idx_); }
+  /// First id this peer needs (joiners skip the back catalogue).
+  [[nodiscard]] SegmentId start_id() const { return pool().start_id(idx_); }
+  [[nodiscard]] SegmentId& start_id() { return pool().start_id(idx_); }
+  /// Contiguous run of received ids starting at start_id (startup rule).
+  [[nodiscard]] std::uint32_t start_run() const { return pool().start_run(idx_); }
+  [[nodiscard]] std::uint32_t& start_run() { return pool().start_run(idx_); }
+  /// Highest switch index whose boundary this peer knows (-1 = none).
+  [[nodiscard]] int known_boundary() const { return pool().known_boundary(idx_); }
+  [[nodiscard]] int& known_boundary() { return pool().known_boundary(idx_); }
+  /// Switch currently being worked (-1 = none).  Valid once the timeline's
+  /// switch event initialised the counters below.
+  [[nodiscard]] int active_switch() const { return pool().active_switch(idx_); }
+  [[nodiscard]] int& active_switch() { return pool().active_switch(idx_); }
+  /// Q1: undelivered old-stream segments for the active switch.
+  [[nodiscard]] std::uint32_t q1_missing() const { return pool().q1_missing(idx_); }
+  [[nodiscard]] std::uint32_t& q1_missing() { return pool().q1_missing(idx_); }
+  /// Q2: undelivered segments of the new stream's Qs-prefix.
+  [[nodiscard]] std::uint32_t q2_missing() const { return pool().q2_missing(idx_); }
+  [[nodiscard]] std::uint32_t& q2_missing() { return pool().q2_missing(idx_); }
+  /// Snapshot of q1_missing at the switch instant (Q0).
+  [[nodiscard]] std::uint32_t q0_at_switch() const { return pool().q0_at_switch(idx_); }
+  [[nodiscard]] std::uint32_t& q0_at_switch() { return pool().q0_at_switch(idx_); }
+  /// Lower bound of this peer's old-stream needs for the active switch.
+  [[nodiscard]] SegmentId sw_lo() const { return pool().sw_lo(idx_); }
+  [[nodiscard]] SegmentId& sw_lo() { return pool().sw_lo(idx_); }
+  /// Finished playback of the old stream.
+  [[nodiscard]] bool sw_finished() const { return pool().sw_finished(idx_) != 0; }
+  [[nodiscard]] std::uint8_t& sw_finished() { return pool().sw_finished(idx_); }
+  /// Gathered the new stream's prefix.
+  [[nodiscard]] bool sw_prepared() const { return pool().sw_prepared(idx_) != 0; }
+  [[nodiscard]] std::uint8_t& sw_prepared() { return pool().sw_prepared(idx_); }
+  /// Counted in the active switch's metrics.
+  [[nodiscard]] bool tracked() const { return pool().tracked(idx_) != 0; }
+  [[nodiscard]] std::uint8_t& tracked() { return pool().tracked(idx_); }
+  /// Playback gate set for the active switch.
+  [[nodiscard]] bool gate_armed() const { return pool().gate_armed(idx_) != 0; }
+  [[nodiscard]] std::uint8_t& gate_armed() { return pool().gate_armed(idx_); }
+  /// Index into the engine's scheduler-strategy registry (strategies are
+  /// stateless per call and shared; peers carry a one-byte handle so
+  /// heterogeneous policies stay a config change, not a refactor).
+  [[nodiscard]] std::uint8_t strategy_index() const { return pool().strategy(idx_); }
+  [[nodiscard]] std::uint8_t& strategy_index() { return pool().strategy(idx_); }
+
   /// Marks `id` received (growing the bitset as needed) and inserts it into
   /// the stream buffer.  Returns false when it was already received.  When
   /// the insert evicts a segment, its id is reported through `evicted`
@@ -102,8 +208,8 @@ struct PeerNode {
   /// anchor and the per-tick window sync all derive from this one value —
   /// their agreement is what guarantees the sliding window always covers
   /// the candidate scan.
-  [[nodiscard]] SegmentId playback_anchor() const noexcept {
-    return playback.started() ? playback.cursor() : start_id;
+  [[nodiscard]] SegmentId playback_anchor() const {
+    return playback.started() ? playback.cursor() : start_id();
   }
 
   /// Undelivered segments in [lo, hi] (0 when the range is empty).
@@ -115,10 +221,31 @@ struct PeerNode {
 
   /// Drops expired in-flight entries so the segments become requestable
   /// again.
-  void prune_pending(double now);
+  void prune_pending(double now) { pending.prune(now); }
 
   /// Extends the contiguous received run from start_id (startup rule).
   void extend_start_run();
+
+  /// Heap bytes owned by this node's cold state (buffer, playback, received
+  /// set, pending book, advertised map) plus the node itself.
+  [[nodiscard]] std::size_t memory_bytes() const noexcept;
+
+ private:
+  [[nodiscard]] PeerPool& pool() const {
+    if (pool_ == nullptr) {
+      own_ = std::make_unique<PeerPool>();
+      own_->resize(1);
+      pool_ = own_.get();
+    }
+    return *pool_;
+  }
+
+  // Engine-bound nodes point into the engine's pool; unbound nodes lazily
+  // own a single-slot pool.  Mutable so const reads work before binding;
+  // own_ lives on the heap so the binding survives vector reallocation.
+  mutable PeerPool* pool_ = nullptr;
+  mutable std::unique_ptr<PeerPool> own_;
+  std::size_t idx_ = 0;
 };
 
 /// Historical name, kept for call sites that predate the decomposition.

@@ -12,9 +12,11 @@
 // a new source — is met; the engine owns those conditions).
 #pragma once
 
+#include <array>
 #include <functional>
 #include <limits>
 #include <map>
+#include <memory>
 
 #include "gossip/buffer_map.hpp"
 
@@ -25,8 +27,10 @@ using gossip::kNoSegment;
 
 class Playback {
  public:
-  /// `rate` is the paper's p (segments/second).
-  explicit Playback(double rate);
+  /// `rate` is the paper's p (segments/second).  `flat` swaps the
+  /// recent-arrival std::map for a bounded direct-mapped ring
+  /// (EngineConfig::peer_pool); behaviour is identical.
+  explicit Playback(double rate, bool flat = false);
 
   [[nodiscard]] bool started() const noexcept { return started_; }
   [[nodiscard]] double rate() const noexcept { return rate_; }
@@ -65,14 +69,40 @@ class Playback {
   std::size_t advance(double now, const std::function<bool(SegmentId)>& has,
                       const std::function<void(SegmentId, double)>& on_play);
 
+  /// Heap bytes owned by the recent-arrival bookkeeping.
+  [[nodiscard]] std::size_t memory_bytes() const noexcept;
+
  private:
   /// Arrivals further than this ahead of the cursor need no timestamp: the
   /// cursor cannot reach them within any realistic advance() gap, so their
-  /// play times are always later than their arrivals anyway.
-  static constexpr SegmentId kArrivalWindow = 128;
+  /// play times are always later than their arrivals anyway.  (A clamp
+  /// could only matter if advance() went uncalled for kArrivalWindow /
+  /// rate seconds — 6.4 s at the paper's p = 10 — while ticks run it every
+  /// period.)  Applied identically in both modes, and sized to keep the
+  /// flat ring at 1 KiB per playing peer.
+  static constexpr SegmentId kArrivalWindow = 64;
+  static_assert((kArrivalWindow & (kArrivalWindow - 1)) == 0,
+                "ring slots are indexed by id & (kArrivalWindow - 1)");
+
+  /// One direct-mapped ring slot: id == the stored segment, or stale.
+  /// Live entries never collide: two unplayed ids sharing a residue would
+  /// have to differ by >= kArrivalWindow, and notify_arrival only stores
+  /// ids within kArrivalWindow of the cursor while the smaller one is
+  /// still >= cursor — a contradiction.  Stale entries fail the id check
+  /// and are simply overwritten, so no range cleanup is ever needed.
+  struct ArrivalSlot {
+    SegmentId id = kNoSegment;
+    double time = 0.0;
+  };
+  using ArrivalRing = std::array<ArrivalSlot, static_cast<std::size_t>(kArrivalWindow)>;
+
+  static std::size_t slot_of(SegmentId id) noexcept {
+    return static_cast<std::size_t>(id) & static_cast<std::size_t>(kArrivalWindow - 1);
+  }
 
   double rate_;
   double interval_;
+  bool flat_mode_;
   bool started_ = false;
   SegmentId cursor_ = kNoSegment;
   double next_due_ = 0.0;
@@ -84,6 +114,8 @@ class Playback {
   /// Arrival times of not-yet-played segments near the cursor (see
   /// notify_arrival); entries are erased as the cursor passes them.
   std::map<SegmentId, double> recent_arrivals_;
+  /// Flat replacement for recent_arrivals_, created on first use.
+  std::unique_ptr<ArrivalRing> ring_;
 };
 
 }  // namespace gs::stream

@@ -16,6 +16,7 @@
 
 #include "gossip/buffer_map.hpp"
 #include "net/graph.hpp"
+#include "util/arena.hpp"
 #include "util/rng.hpp"
 
 namespace gs::stream {
@@ -44,11 +45,21 @@ enum class StreamEpoch : std::uint8_t {
   kNew,  ///< the starting source S2
 };
 
+/// Supplier lists are rebuilt from scratch every scheduling period, so they
+/// can live in a per-tick arena (EngineConfig::peer_pool's sequential path);
+/// the default-constructed allocator falls back to the heap everywhere else.
+using SupplierList = std::vector<SupplierView, util::ArenaAllocator<SupplierView>>;
+
 /// A segment the node needs and at least one neighbour can supply.
 struct CandidateSegment {
   SegmentId id = kNoSegment;
   StreamEpoch epoch = StreamEpoch::kOld;
-  std::vector<SupplierView> suppliers;
+  SupplierList suppliers;
+
+  CandidateSegment() = default;
+  /// Puts the supplier list in `alloc`'s arena.
+  explicit CandidateSegment(const util::ArenaAllocator<SupplierView>& alloc)
+      : suppliers(alloc) {}
 };
 
 /// Node-local scheduling inputs (paper Table 1/2 notation in comments).

@@ -1,12 +1,14 @@
 #include "stream/stream_buffer.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "util/check.hpp"
 
 namespace gs::stream {
 
-StreamBuffer::StreamBuffer(std::size_t capacity) : capacity_(capacity) {
+StreamBuffer::StreamBuffer(std::size_t capacity, bool flat)
+    : capacity_(capacity), flat_mode_(flat) {
   GS_CHECK_GE(capacity, 1u);
 }
 
@@ -22,21 +24,73 @@ SegmentId StreamBuffer::insert(SegmentId id) {
   GS_CHECK_GE(id, 0);
   if (contains(id)) return kNoSegment;
   grow_presence(id);
-  order_.push_back(id);
-  sequence_[id] = next_sequence_++;
+
+  if (flat_mode_) {
+    if (flat_ == nullptr) flat_ = std::make_unique<Flat>();
+    Flat& f = *flat_;
+    SegmentId victim = kNoSegment;
+    if (f.count == capacity_) {
+      // Evict-before-insert keeps the ring at `capacity` slots.  With
+      // capacity >= 1 this picks the same victim and assigns the same
+      // sequence numbers as the legacy insert-then-evict order, so both
+      // backends stay bit-identical.
+      victim = f.ring[f.head];
+      f.head = f.head + 1 == f.ring.size() ? 0 : f.head + 1;
+      --f.count;
+      f.sequence.erase(static_cast<std::int32_t>(victim));
+      presence_.reset(static_cast<std::size_t>(victim));
+      ++evictions_;
+      if (victim == max_id_) {
+        // Rare: the max can only be evicted under heavy id reordering.
+        max_id_ = kNoSegment;
+        for (std::size_t i = 0; i < f.count; ++i) {
+          std::size_t slot = f.head + i;
+          if (slot >= f.ring.size()) slot -= f.ring.size();
+          max_id_ = std::max(max_id_, f.ring[slot]);
+        }
+      }
+    } else if (f.count == f.ring.size()) {
+      // Grow geometrically towards `capacity`, relinearising so the oldest
+      // element lands at slot 0.  Once count reaches capacity the ring is
+      // exactly `capacity` slots and only the eviction branch runs.
+      std::vector<SegmentId> bigger(
+          std::min(capacity_, std::max<std::size_t>(16, f.ring.size() * 2)), kNoSegment);
+      for (std::size_t i = 0; i < f.count; ++i) {
+        std::size_t slot = f.head + i;
+        if (slot >= f.ring.size()) slot -= f.ring.size();
+        bigger[i] = f.ring[slot];
+      }
+      f.ring = std::move(bigger);
+      f.head = 0;
+    }
+    std::size_t tail = f.head + f.count;
+    if (tail >= f.ring.size()) tail -= f.ring.size();
+    f.ring[tail] = id;
+    ++f.count;
+    f.sequence.set(static_cast<std::int32_t>(id),
+                   static_cast<std::uint32_t>(next_sequence_++));
+    presence_.set(static_cast<std::size_t>(id));
+    max_id_ = std::max(max_id_, id);
+    return victim;
+  }
+
+  if (legacy_ == nullptr) legacy_ = std::make_unique<Legacy>();
+  Legacy& l = *legacy_;
+  l.order.push_back(id);
+  l.sequence[id] = next_sequence_++;
   presence_.set(static_cast<std::size_t>(id));
   max_id_ = std::max(max_id_, id);
 
-  if (order_.size() <= capacity_) return kNoSegment;
-  const SegmentId victim = order_.front();
-  order_.pop_front();
-  sequence_.erase(victim);
+  if (l.order.size() <= capacity_) return kNoSegment;
+  const SegmentId victim = l.order.front();
+  l.order.pop_front();
+  l.sequence.erase(victim);
   presence_.reset(static_cast<std::size_t>(victim));
   ++evictions_;
   if (victim == max_id_) {
     // Rare: the max can only be evicted under heavy id reordering.
     max_id_ = kNoSegment;
-    for (const SegmentId held : order_) max_id_ = std::max(max_id_, held);
+    for (const SegmentId held : l.order) max_id_ = std::max(max_id_, held);
   }
   return victim;
 }
@@ -47,31 +101,67 @@ bool StreamBuffer::contains(SegmentId id) const noexcept {
 }
 
 std::size_t StreamBuffer::position_from_tail(SegmentId id) const noexcept {
-  const auto it = sequence_.find(id);
-  if (it == sequence_.end()) return 0;
   // Every successful insert bumps next_sequence_ by one and appends one
   // element at the tail, so the distance from the tail is the number of
   // later insertions plus one.  Evictions remove from the head and do not
   // change any survivor's distance from the tail.
+  if (flat_mode_) {
+    if (flat_ == nullptr) return 0;
+    const std::uint32_t* seq = flat_->sequence.find(static_cast<std::int32_t>(id));
+    // uint32 wraparound subtraction: the distance is < capacity <= 2^32.
+    return seq == nullptr
+               ? 0
+               : static_cast<std::size_t>(static_cast<std::uint32_t>(next_sequence_) - *seq);
+  }
+  if (legacy_ == nullptr) return 0;
+  const auto it = legacy_->sequence.find(id);
+  if (it == legacy_->sequence.end()) return 0;
   return static_cast<std::size_t>(next_sequence_ - it->second);
 }
 
 SegmentId StreamBuffer::oldest() const noexcept {
-  return order_.empty() ? kNoSegment : order_.front();
+  if (flat_mode_) {
+    return (flat_ == nullptr || flat_->count == 0) ? kNoSegment : flat_->ring[flat_->head];
+  }
+  return (legacy_ == nullptr || legacy_->order.empty()) ? kNoSegment : legacy_->order.front();
 }
 
 SegmentId StreamBuffer::newest() const noexcept {
-  return order_.empty() ? kNoSegment : order_.back();
+  if (flat_mode_) {
+    if (flat_ == nullptr || flat_->count == 0) return kNoSegment;
+    std::size_t tail = flat_->head + flat_->count - 1;
+    if (tail >= flat_->ring.size()) tail -= flat_->ring.size();
+    return flat_->ring[tail];
+  }
+  return (legacy_ == nullptr || legacy_->order.empty()) ? kNoSegment : legacy_->order.back();
 }
 
 gossip::BufferMap StreamBuffer::build_map(std::size_t window_bits) const {
   if (max_id_ == kNoSegment) return gossip::BufferMap(0, window_bits);
-  const SegmentId base =
-      std::max<SegmentId>(0, max_id_ - static_cast<SegmentId>(window_bits) + 1);
   // Word-at-a-time copy out of the presence bitset: build_map runs once per
   // peer per advert under delta accounting, so the per-slot contains() loop
   // it replaced was a real per-tick cost.
-  return gossip::BufferMap::from_presence(base, window_bits, presence_);
+  return gossip::BufferMap::from_presence(window_base(window_bits), window_bits, presence_);
+}
+
+void StreamBuffer::build_map_into(std::size_t window_bits, gossip::BufferMap& out) const {
+  out.assign_from_presence(window_base(window_bits), window_bits, presence_);
+}
+
+std::size_t StreamBuffer::memory_bytes() const noexcept {
+  std::size_t total = presence_.memory_bytes();
+  if (flat_ != nullptr) {
+    total += flat_->ring.capacity() * sizeof(SegmentId) + flat_->sequence.memory_bytes();
+  }
+  if (legacy_ != nullptr) {
+    // Node-based estimate: deque block plus a heap node (payload + two
+    // pointers of overhead) per mapped segment.
+    total += legacy_->order.size() * sizeof(SegmentId) + 512 +
+             legacy_->sequence.bucket_count() * sizeof(void*) +
+             legacy_->sequence.size() *
+                 (sizeof(std::pair<SegmentId, std::uint64_t>) + 2 * sizeof(void*));
+  }
+  return total;
 }
 
 }  // namespace gs::stream

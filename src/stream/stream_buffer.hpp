@@ -5,14 +5,26 @@
 // *tail* (most recent insertion): a just-inserted segment has position 1,
 // the eviction candidate has position size() <= B.  rarity (eq. 8) uses
 // p_ij / B as the per-supplier replacement probability.
+//
+// Two storage backends share one observable behaviour.  The legacy backend
+// (default) keeps insertion order in a std::deque and sequence numbers in a
+// std::unordered_map.  The flat backend (EngineConfig::peer_pool) replaces
+// them with a fixed ring of `capacity` ids plus a FlatSegmentMap — two
+// contiguous allocations per peer instead of a deque chunk plus a heap node
+// per held segment, which is what makes 10^6 buffers fit.  Either way the
+// state is created lazily on first insert, so an empty buffer owns no heap.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "gossip/buffer_map.hpp"
 #include "util/bitset.hpp"
+#include "util/flat_map.hpp"
 
 namespace gs::stream {
 
@@ -21,10 +33,14 @@ using gossip::kNoSegment;
 
 class StreamBuffer {
  public:
-  explicit StreamBuffer(std::size_t capacity);
+  /// `flat` selects the ring + flat-map backend (identical behaviour).
+  explicit StreamBuffer(std::size_t capacity, bool flat = false);
 
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
-  [[nodiscard]] std::size_t size() const noexcept { return order_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept {
+    if (flat_mode_) return flat_ ? flat_->count : 0;
+    return legacy_ ? legacy_->order.size() : 0;
+  }
 
   /// Inserts `id`; returns the evicted id (kNoSegment if none).  Duplicate
   /// inserts are no-ops returning kNoSegment.
@@ -55,16 +71,45 @@ class StreamBuffer {
   /// ending at the newest held id (base = max(0, max_id - window + 1)).
   [[nodiscard]] gossip::BufferMap build_map(std::size_t window_bits) const;
 
+  /// build_map into a caller-owned scratch map (reuses its storage).
+  void build_map_into(std::size_t window_bits, gossip::BufferMap& out) const;
+
   [[nodiscard]] std::uint64_t eviction_count() const noexcept { return evictions_; }
 
+  /// Heap bytes owned by the active backend plus the presence bitset.
+  [[nodiscard]] std::size_t memory_bytes() const noexcept;
+
  private:
+  /// Legacy backend: deque of ids in insertion order (front = oldest) plus
+  /// id -> insertion sequence number, erased on eviction.
+  struct Legacy {
+    std::deque<SegmentId> order;
+    std::unordered_map<SegmentId, std::uint64_t> sequence;
+  };
+  /// Flat backend: ring of held ids (head = oldest) plus the same id ->
+  /// sequence map, open-addressed.  The ring grows geometrically up to
+  /// `capacity` so a near-empty buffer (short runs, fresh joiners) does not
+  /// pay for B slots up front.  The map narrows both sides to 32 bits —
+  /// segment ids are bounded by rate x horizon and sequence *distances*
+  /// (all position_from_tail needs) stay exact under uint32 wraparound —
+  /// so a slot is 8 bytes, not 16.
+  struct Flat {
+    std::vector<SegmentId> ring;
+    std::size_t head = 0;
+    std::size_t count = 0;
+    util::FlatSegmentMap<std::uint32_t, std::int32_t> sequence;
+  };
+
   void grow_presence(SegmentId id);
+  [[nodiscard]] SegmentId window_base(std::size_t window_bits) const noexcept {
+    if (max_id_ == kNoSegment) return 0;
+    return std::max<SegmentId>(0, max_id_ - static_cast<SegmentId>(window_bits) + 1);
+  }
 
   std::size_t capacity_;
-  /// Insertion order (front = oldest).
-  std::deque<SegmentId> order_;
-  /// id -> insertion sequence number; erased on eviction.
-  std::unordered_map<SegmentId, std::uint64_t> sequence_;
+  bool flat_mode_;
+  std::unique_ptr<Legacy> legacy_;
+  std::unique_ptr<Flat> flat_;
   util::DynamicBitset presence_;
   std::uint64_t next_sequence_ = 1;
   SegmentId max_id_ = kNoSegment;

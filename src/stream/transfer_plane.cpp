@@ -182,7 +182,7 @@ bool TransferPlane::request(PeerNode& requester, const PeerNode& supplier, Segme
     // Link/supplier backlog too deep; the node retries elsewhere next period.
     return false;
   }
-  const double tx = 1.0 / supplier.outbound_rate;
+  const double tx = 1.0 / supplier.outbound_rate();
   capacity_->commit(requester.id, supplier.id, start, start + tx);
   const double deliver_at =
       start + tx + latency_.jittered_delay_s(requester.id, supplier.id, requester.rng);
@@ -203,7 +203,7 @@ bool TransferPlane::push(PeerNode& from, net::NodeId to, SegmentId id, double no
                                 : uplink_busy_until_[from.id];
   const double start = std::max(now, backlog);
   if (start - now > accept_horizon_) return false;  // own uplink saturated
-  const double tx = 1.0 / from.outbound_rate;
+  const double tx = 1.0 / from.outbound_rate();
   if (bucket) {
     capacity_->commit(to, from.id, start, start + tx);
   } else {

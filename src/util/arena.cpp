@@ -1,0 +1,33 @@
+#include "util/arena.hpp"
+
+#include <algorithm>
+
+namespace gs::util {
+
+void* Arena::allocate(std::size_t bytes, std::size_t alignment) {
+  if (bytes == 0) bytes = 1;
+  for (;;) {
+    if (current_ < chunks_.size()) {
+      Chunk& chunk = chunks_[current_];
+      const std::size_t aligned =
+          (offset_ + alignment - 1) & ~(alignment - 1);
+      if (aligned + bytes <= chunk.size) {
+        offset_ = aligned + bytes;
+        allocated_ += bytes;
+        return chunk.data.get() + aligned;
+      }
+      // Chunk exhausted: move to the next (pre-existing after a reset, or
+      // freshly grown below).
+      ++current_;
+      offset_ = 0;
+      continue;
+    }
+    // Oversized requests get a dedicated chunk so they never force the
+    // regular chunk size up; new chunks double to keep chunk count O(log).
+    const std::size_t grown = chunk_bytes_ << std::min<std::size_t>(chunks_.size(), 10);
+    const std::size_t size = std::max(bytes + alignment, grown);
+    chunks_.push_back(Chunk{std::make_unique<std::byte[]>(size), size});
+  }
+}
+
+}  // namespace gs::util

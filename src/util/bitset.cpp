@@ -143,6 +143,15 @@ DynamicBitset DynamicBitset::copy_window(const DynamicBitset& src, std::size_t f
   return out;
 }
 
+void DynamicBitset::assign_window(const DynamicBitset& src, std::size_t from, std::size_t bits) {
+  bits_ = bits;
+  words_.resize((bits + kWordBits - 1) / kWordBits);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    words_[i] = src.extract_word(from + i * kWordBits);
+  }
+  trim();
+}
+
 DynamicBitset& DynamicBitset::operator&=(const DynamicBitset& other) {
   GS_CHECK_EQ(bits_, other.bits_);
   for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];

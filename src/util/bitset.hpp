@@ -71,6 +71,16 @@ class DynamicBitset {
   [[nodiscard]] static DynamicBitset copy_window(const DynamicBitset& src, std::size_t from,
                                                  std::size_t bits);
 
+  /// In-place copy_window: this bitset becomes src[from, from + bits),
+  /// reusing the existing word storage so steady-state callers (the advert
+  /// scratch maps) allocate nothing.  `src` must not alias this bitset.
+  void assign_window(const DynamicBitset& src, std::size_t from, std::size_t bits);
+
+  /// Heap bytes owned by the word array.
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return words_.capacity() * sizeof(std::uint64_t);
+  }
+
   DynamicBitset& operator&=(const DynamicBitset& other);
   DynamicBitset& operator|=(const DynamicBitset& other);
 

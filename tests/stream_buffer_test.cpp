@@ -119,6 +119,36 @@ TEST(StreamBuffer, BuildMapEmptyBuffer) {
   EXPECT_EQ(map.available_count(), 0u);
 }
 
+TEST(StreamBuffer, FlatModeMatchesLegacyOnRandomWorkload) {
+  // The flat ring must be observationally identical to the deque+map
+  // implementation: same victims, same max, same positions, same map.
+  util::Rng rng(321);
+  StreamBuffer legacy(32, false);
+  StreamBuffer flat(32, true);
+  SegmentId next = 0;
+  for (int step = 0; step < 5000; ++step) {
+    // Mostly fresh ids with occasional duplicates and out-of-order inserts.
+    SegmentId id;
+    const auto roll = rng.uniform_int(0, 9);
+    if (roll < 7) {
+      id = next++;
+    } else {
+      id = rng.uniform_int(0, next > 0 ? next - 1 : 0);
+    }
+    EXPECT_EQ(legacy.insert(id), flat.insert(id)) << "step " << step;
+    ASSERT_EQ(legacy.size(), flat.size());
+    EXPECT_EQ(legacy.max_id(), flat.max_id());
+    EXPECT_EQ(legacy.oldest(), flat.oldest());
+    const SegmentId probe = rng.uniform_int(0, next > 0 ? next - 1 : 0);
+    EXPECT_EQ(legacy.contains(probe), flat.contains(probe)) << "step " << step;
+    EXPECT_EQ(legacy.position_from_tail(probe), flat.position_from_tail(probe));
+  }
+  const auto legacy_map = legacy.build_map(64);
+  const auto flat_map = flat.build_map(64);
+  EXPECT_EQ(legacy_map.base(), flat_map.base());
+  EXPECT_EQ(legacy_map.available_count(), flat_map.available_count());
+}
+
 // ---------------------------------------------------------------- playback
 
 TEST(Playback, StartAndAdvance) {
@@ -222,6 +252,43 @@ TEST(Playback, PlayedCountAccumulates) {
   pb.start(0, 0.0);
   pb.advance(0.95, [](SegmentId) { return true; }, [](SegmentId, double) {});
   EXPECT_EQ(pb.played_count(), 10u);
+}
+
+TEST(Playback, FlatArrivalRingMatchesMapMode) {
+  // Arrival-driven stall accounting must not depend on the bookkeeping
+  // structure: drive both modes through identical late-arrival schedules.
+  util::Rng rng(654);
+  Playback map_mode(10.0, false);
+  Playback flat_mode(10.0, true);
+  map_mode.start(0, 0.0);
+  flat_mode.start(0, 0.0);
+  std::vector<bool> have(400, false);
+  const auto has = [&](SegmentId id) {
+    return id >= 0 && static_cast<std::size_t>(id) < have.size() &&
+           have[static_cast<std::size_t>(id)];
+  };
+  double now = 0.0;
+  SegmentId next_arrival = 0;
+  for (int step = 0; step < 300; ++step) {
+    now += 0.01 * static_cast<double>(rng.uniform_int(1, 20));
+    // Deliver a random burst, sometimes leaving gaps that stall playback.
+    const auto burst = rng.uniform_int(0, 2);
+    for (SegmentId k = 0; k < burst && next_arrival < 400; ++k) {
+      have[static_cast<std::size_t>(next_arrival)] = true;
+      map_mode.notify_arrival(next_arrival, now);
+      flat_mode.notify_arrival(next_arrival, now);
+      ++next_arrival;
+    }
+    std::vector<std::pair<SegmentId, double>> map_plays;
+    std::vector<std::pair<SegmentId, double>> flat_plays;
+    map_mode.advance(now, has, [&](SegmentId id, double t) { map_plays.emplace_back(id, t); });
+    flat_mode.advance(now, has, [&](SegmentId id, double t) { flat_plays.emplace_back(id, t); });
+    ASSERT_EQ(map_plays, flat_plays) << "step " << step;
+    EXPECT_EQ(map_mode.cursor(), flat_mode.cursor());
+    EXPECT_DOUBLE_EQ(map_mode.stall_time(), flat_mode.stall_time());
+  }
+  EXPECT_EQ(map_mode.played_count(), flat_mode.played_count());
+  EXPECT_GT(map_mode.stall_time(), 0.0) << "workload should have exercised stalls";
 }
 
 // ---------------------------------------------------------------- budgets

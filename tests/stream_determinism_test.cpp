@@ -37,6 +37,11 @@ struct RunSpec {
   /// The parallel delivery wave + sweep super-batching of the sharded core
   /// (effective only when parallel > 0; defaults on, like the engine).
   bool delivery_wave = true;
+  /// Million-peer memory plane: flat pending/buffer/arrival containers and
+  /// the sequential plan arena.
+  bool peer_pool = false;
+  /// Flash-crowd joiners admitted shortly after the first switch (0 = off).
+  std::size_t flash_joins = 0;
   std::size_t parallel = 0;
   std::size_t tick_shard = 16;
   std::vector<net::NodeId> sources = {0, 1};
@@ -65,6 +70,8 @@ RunOutput run_setup(const RunSpec& setup) {
   config.delta_maps = setup.delta_maps;
   config.windowed_availability = setup.windowed;
   config.parallel_delivery = setup.delivery_wave;
+  config.peer_pool = setup.peer_pool;
+  config.flash_crowd_joins = setup.flash_joins;
   config.parallel_shards = setup.parallel;
   config.tick_shard_size = setup.tick_shard;
 
@@ -681,6 +688,140 @@ TEST(WindowedAvailability, WindowedChurnRunsReproduceThemselves) {
   setup.batch = true;
   setup.churn = true;
   expect_identical(run_setup(setup), run_setup(setup));
+}
+
+// ---------------------------------------------------------------------------
+// The million-peer memory plane must be *observably invisible* exactly like
+// every mechanism before it: the same seed with peer_pool on and off — flat
+// open-addressed pending maps instead of unordered_map nodes, ring-backed
+// stream buffers instead of deque+map, the bounded arrival ring instead of
+// std::map, and the per-tick plan arena on the sequential path — has to
+// reproduce every metric bit for bit, across algorithms, churn, capacity
+// models, multi-switch timelines, availability modes, dispatch modes and
+// every shard count.  Only bytes/peer and allocation traffic may change.
+
+RunOutput run_pooled(RunSpec setup) {
+  setup.peer_pool = true;
+  return run_setup(setup);
+}
+
+TEST(PeerPool, FastSwitchMatchesLegacyContainers) {
+  RunSpec setup;
+  expect_identical(run_setup(setup), run_pooled(setup));
+}
+
+TEST(PeerPool, NormalSwitchMatchesLegacyContainers) {
+  RunSpec setup;
+  setup.fast = false;
+  expect_identical(run_setup(setup), run_pooled(setup));
+}
+
+TEST(PeerPool, ChurnMatchesLegacyContainers) {
+  // Churn exercises joiner pool growth (bind after emplace), leaver pending
+  // erasure through the flat map and buffer teardown through the ring.
+  RunSpec setup;
+  setup.seed = 19;
+  setup.churn = true;
+  expect_identical(run_setup(setup), run_pooled(setup));
+}
+
+TEST(PeerPool, TokenBucketCapacityMatchesLegacyContainers) {
+  RunSpec setup;
+  setup.seed = 29;
+  setup.token_bucket = true;
+  expect_identical(run_setup(setup), run_pooled(setup));
+}
+
+TEST(PeerPool, MultiSwitchMatchesLegacyContainers) {
+  RunSpec setup;
+  setup.seed = 23;
+  setup.sources = {0, 1, 2};
+  setup.switch_times = {0.0, 60.0};
+  expect_identical(run_setup(setup), run_pooled(setup));
+}
+
+TEST(PeerPool, EveryShardCountMatchesLegacySequential) {
+  // The arena only engages at shards=0; the sharded counts prove the flat
+  // containers stay invisible when the plan wave runs without it.
+  RunSpec setup;
+  const RunOutput legacy = run_setup(setup);
+  for (const std::size_t shards : {0u, 1u, 4u, 7u}) {
+    RunSpec pooled = setup;
+    pooled.parallel = shards;
+    expect_identical(legacy, run_pooled(pooled));
+  }
+}
+
+TEST(PeerPool, BatchIncrementalWindowedComposes) {
+  // The full mechanism stack with the memory plane on top: batched
+  // dispatch, delta-maintained windowed views, flat containers and the
+  // plan arena at once.
+  RunSpec setup;
+  setup.seed = 43;
+  RunSpec stacked = setup;
+  stacked.batch = true;
+  stacked.windowed = true;
+  expect_identical(run_setup(setup), run_pooled(stacked));
+}
+
+TEST(PeerPool, LockstepChurnMatchesLegacyContainers) {
+  RunSpec setup;
+  setup.seed = 37;
+  setup.stagger = false;
+  setup.churn = true;
+  expect_identical(run_setup(setup), run_pooled(setup));
+}
+
+TEST(PeerPool, PooledChurnRunsReproduceThemselves) {
+  RunSpec setup;
+  setup.seed = 61;
+  setup.peer_pool = true;
+  setup.churn = true;
+  setup.windowed = true;
+  setup.parallel = 4;
+  expect_identical(run_setup(setup), run_setup(setup));
+}
+
+// The flash-crowd scenario rides the regular join path, so it must be a
+// pure workload knob: deterministic for a fixed seed, identical with the
+// memory plane on and off, and it must admit exactly the configured crowd.
+
+TEST(PeerPool, FlashCrowdMatchesAcrossMemoryPlanes) {
+  RunSpec setup;
+  setup.seed = 67;
+  setup.flash_joins = 40;
+  expect_identical(run_setup(setup), run_pooled(setup));
+}
+
+TEST(PeerPool, FlashCrowdRunsReproduceThemselves) {
+  RunSpec setup;
+  setup.seed = 71;
+  setup.flash_joins = 40;
+  setup.peer_pool = true;
+  setup.batch = true;
+  setup.windowed = true;
+  expect_identical(run_setup(setup), run_setup(setup));
+}
+
+TEST(PeerPool, FlashCrowdAdmitsTheConfiguredCrowd) {
+  RunSpec setup;
+  setup.seed = 73;
+  setup.flash_joins = 40;
+  const RunOutput out = run_setup(setup);
+  EXPECT_EQ(out.stats.flash_joins, 40u);
+  EXPECT_GE(out.stats.joins, 40u) << "flash joiners are a subset of joins";
+}
+
+TEST(PeerPool, ReportsMemoryTelemetry) {
+  RunSpec setup;
+  setup.seed = 79;
+  const RunOutput legacy = run_setup(setup);
+  const RunOutput pooled = run_pooled(setup);
+  EXPECT_GT(legacy.stats.peer_state_bytes, 0u);
+  EXPECT_GT(pooled.stats.peer_state_bytes, 0u);
+  EXPECT_GT(legacy.stats.bytes_per_peer, 0.0);
+  EXPECT_LT(pooled.stats.bytes_per_peer, legacy.stats.bytes_per_peer)
+      << "the flat containers should shrink the per-peer footprint";
 }
 
 TEST(Determinism, DifferentSeedsProduceDifferentRuns) {

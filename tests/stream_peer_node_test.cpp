@@ -55,25 +55,28 @@ TEST(PeerNode, NextMissingSkipsReceivedRuns) {
 
 TEST(PeerNode, ExtendStartRunFollowsContiguousPrefix) {
   PeerNode p;
-  p.start_id = 100;
+  p.start_id() = 100;
   for (const SegmentId id : {100, 101, 102, 104}) p.mark_received(id);
   p.extend_start_run();
-  EXPECT_EQ(p.start_run, 3u) << "run stops at the 103 gap";
+  EXPECT_EQ(p.start_run(), 3u) << "run stops at the 103 gap";
   p.mark_received(103);
   p.extend_start_run();
-  EXPECT_EQ(p.start_run, 5u) << "filling the gap extends through 104";
+  EXPECT_EQ(p.start_run(), 5u) << "filling the gap extends through 104";
 }
 
 TEST(PeerNode, PrunePendingDropsOnlyExpiredEntries) {
-  PeerNode p;
-  p.pending[1] = 5.0;   // retry-eligible at t=5
-  p.pending[2] = 10.0;
-  p.pending[3] = 7.5;
-  p.prune_pending(7.5);
-  EXPECT_EQ(p.pending.size(), 1u);
-  EXPECT_TRUE(p.pending.count(2));
-  p.prune_pending(10.0);
-  EXPECT_TRUE(p.pending.empty());
+  for (const bool flat : {false, true}) {
+    PeerNode p;
+    p.pending.use_flat(flat);
+    p.pending.set(1, 5.0);  // retry-eligible at t=5
+    p.pending.set(2, 10.0);
+    p.pending.set(3, 7.5);
+    p.prune_pending(7.5);
+    EXPECT_EQ(p.pending.size(), 1u) << "flat=" << flat;
+    EXPECT_TRUE(p.pending.contains(2)) << "flat=" << flat;
+    p.prune_pending(10.0);
+    EXPECT_TRUE(p.pending.empty()) << "flat=" << flat;
+  }
 }
 
 TEST(PeerNode, PreloadIsIdempotentAvailabilityOnly) {
@@ -89,9 +92,9 @@ TEST(PeerNode, DefaultsMatchDispatchExpectations) {
   PeerNode p;
   EXPECT_EQ(p.tick_group, kNoTickGroup);
   EXPECT_EQ(p.tick_task, nullptr);
-  EXPECT_TRUE(p.alive);
-  EXPECT_EQ(p.active_switch, -1);
-  EXPECT_EQ(p.known_boundary, -1);
+  EXPECT_TRUE(p.alive());
+  EXPECT_EQ(p.active_switch(), -1);
+  EXPECT_EQ(p.known_boundary(), -1);
 }
 
 }  // namespace

@@ -1,0 +1,97 @@
+// Unit tests for the bump arena backing the per-tick plan transients:
+// alignment, chunk growth, oversized requests, reset-and-reuse, and the
+// std::vector-compatible ArenaAllocator (including its heap fallback).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "util/arena.hpp"
+
+namespace gs::util {
+namespace {
+
+TEST(Arena, AllocationsAreAlignedAndDisjoint) {
+  Arena arena(256);
+  auto* a = static_cast<std::byte*>(arena.allocate(13, 1));
+  auto* b = static_cast<std::byte*>(arena.allocate(8, 8));
+  auto* c = static_cast<std::byte*>(arena.allocate(24, 16));
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b) % 8, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(c) % 16, 0u);
+  // Writing each block fully must not disturb the others.
+  std::memset(a, 0xAA, 13);
+  std::memset(b, 0xBB, 8);
+  std::memset(c, 0xCC, 24);
+  EXPECT_EQ(std::to_integer<int>(a[12]), 0xAA);
+  EXPECT_EQ(std::to_integer<int>(b[7]), 0xBB);
+  EXPECT_EQ(std::to_integer<int>(c[23]), 0xCC);
+}
+
+TEST(Arena, GrowsBeyondTheFirstChunk) {
+  Arena arena(64);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_NE(arena.allocate(48, 8), nullptr);
+  }
+  EXPECT_GE(arena.capacity_bytes(), 100u * 48u);
+  EXPECT_GE(arena.allocated_bytes(), 100u * 48u);
+}
+
+TEST(Arena, OversizedRequestGetsItsOwnChunk) {
+  Arena arena(64);
+  auto* big = static_cast<std::byte*>(arena.allocate(10'000, 8));
+  ASSERT_NE(big, nullptr);
+  std::memset(big, 0x5A, 10'000);
+  EXPECT_EQ(std::to_integer<int>(big[9'999]), 0x5A);
+}
+
+TEST(Arena, ResetReusesCapacityWithoutFreeing) {
+  Arena arena(128);
+  for (int i = 0; i < 50; ++i) (void)arena.allocate(100, 8);
+  const std::size_t grown = arena.capacity_bytes();
+  arena.reset();
+  EXPECT_EQ(arena.capacity_bytes(), grown) << "reset keeps the chunks";
+  // The rewound arena serves the same workload without growing further.
+  for (int i = 0; i < 50; ++i) (void)arena.allocate(100, 8);
+  EXPECT_EQ(arena.capacity_bytes(), grown);
+}
+
+TEST(ArenaAllocator, VectorRoundTripInArena) {
+  Arena arena(1024);
+  std::vector<int, ArenaAllocator<int>> v{ArenaAllocator<int>(&arena)};
+  for (int i = 0; i < 1000; ++i) v.push_back(i * 3);
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(v[static_cast<std::size_t>(i)], i * 3);
+  EXPECT_GT(arena.allocated_bytes(), 1000u * sizeof(int) - 1);
+}
+
+TEST(ArenaAllocator, NullArenaFallsBackToHeap) {
+  std::vector<int, ArenaAllocator<int>> v;  // default allocator: no arena
+  for (int i = 0; i < 100; ++i) v.push_back(i);
+  EXPECT_EQ(v.size(), 100u);
+  EXPECT_EQ(v[99], 99);
+}
+
+TEST(ArenaAllocator, EqualityFollowsTheArena) {
+  Arena a(64);
+  Arena b(64);
+  EXPECT_TRUE(ArenaAllocator<int>(&a) == ArenaAllocator<int>(&a));
+  EXPECT_TRUE(ArenaAllocator<int>(&a) != ArenaAllocator<int>(&b));
+  EXPECT_TRUE(ArenaAllocator<int>() == ArenaAllocator<double>());
+}
+
+TEST(ArenaAllocator, MoveAssignmentPropagatesTheArena) {
+  Arena arena(1024);
+  std::vector<int, ArenaAllocator<int>> src{ArenaAllocator<int>(&arena)};
+  src.assign(64, 7);
+  std::vector<int, ArenaAllocator<int>> dst;  // heap-backed
+  dst = std::move(src);                       // POCMA: dst adopts the arena
+  EXPECT_EQ(dst.size(), 64u);
+  EXPECT_EQ(dst[63], 7);
+  EXPECT_EQ(dst.get_allocator().arena(), &arena);
+}
+
+}  // namespace
+}  // namespace gs::util

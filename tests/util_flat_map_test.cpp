@@ -1,0 +1,146 @@
+// Unit tests for the open-addressed FlatSegmentMap that replaces the
+// per-peer unordered_map bookkeeping: round-trips, growth across rehash,
+// backward-shift deletion (including wrapped clusters), and erase_if's
+// hole re-examination ordering.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/flat_map.hpp"
+#include "util/rng.hpp"
+
+namespace gs::util {
+namespace {
+
+TEST(FlatSegmentMap, EmptyMapAllocatesNothing) {
+  FlatSegmentMap<double> map;
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_EQ(map.memory_bytes(), 0u);
+  EXPECT_EQ(map.find(0), nullptr);
+  EXPECT_FALSE(map.erase(0));
+}
+
+TEST(FlatSegmentMap, SetFindOverwriteErase) {
+  FlatSegmentMap<double> map;
+  map.set(10, 1.5);
+  map.set(11, 2.5);
+  ASSERT_NE(map.find(10), nullptr);
+  EXPECT_EQ(*map.find(10), 1.5);
+  map.set(10, 9.0);  // overwrite, not a second slot
+  EXPECT_EQ(map.size(), 2u);
+  EXPECT_EQ(*map.find(10), 9.0);
+  EXPECT_TRUE(map.erase(10));
+  EXPECT_FALSE(map.contains(10));
+  EXPECT_TRUE(map.contains(11));
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatSegmentMap, GrowthPreservesAllEntries) {
+  FlatSegmentMap<std::int64_t> map;
+  for (std::int64_t k = 0; k < 5000; ++k) map.set(k * 7, k);
+  EXPECT_EQ(map.size(), 5000u);
+  for (std::int64_t k = 0; k < 5000; ++k) {
+    const std::int64_t* v = map.find(k * 7);
+    ASSERT_NE(v, nullptr) << "key " << k * 7 << " lost in growth";
+    EXPECT_EQ(*v, k);
+  }
+  EXPECT_EQ(map.find(1), nullptr);
+}
+
+TEST(FlatSegmentMap, RandomizedAgainstUnorderedMap) {
+  Rng rng(1234);
+  FlatSegmentMap<int> flat;
+  std::unordered_map<std::int64_t, int> reference;
+  for (int step = 0; step < 20000; ++step) {
+    const auto key = rng.uniform_int(0, 499);
+    const int op = static_cast<int>(rng.uniform_int(0, 2));
+    if (op == 0) {
+      flat.set(key, step);
+      reference[key] = step;
+    } else if (op == 1) {
+      EXPECT_EQ(flat.erase(key), reference.erase(key) > 0) << "step " << step;
+    } else {
+      const int* v = flat.find(key);
+      const auto it = reference.find(key);
+      if (it == reference.end()) {
+        EXPECT_EQ(v, nullptr) << "step " << step;
+      } else {
+        ASSERT_NE(v, nullptr) << "step " << step;
+        EXPECT_EQ(*v, it->second);
+      }
+    }
+  }
+  EXPECT_EQ(flat.size(), reference.size());
+  std::size_t visited = 0;
+  flat.for_each([&](std::int64_t key, int value) {
+    ++visited;
+    const auto it = reference.find(key);
+    ASSERT_NE(it, reference.end());
+    EXPECT_EQ(it->second, value);
+  });
+  EXPECT_EQ(visited, reference.size());
+}
+
+TEST(FlatSegmentMap, BackwardShiftKeepsProbeChainsReachable) {
+  // Dense consecutive keys force long probe clusters at small capacities;
+  // erasing from the middle of a cluster must not strand later entries.
+  FlatSegmentMap<int> map;
+  for (std::int64_t k = 0; k < 64; ++k) map.set(k, static_cast<int>(k));
+  for (std::int64_t k = 0; k < 64; k += 2) EXPECT_TRUE(map.erase(k));
+  for (std::int64_t k = 1; k < 64; k += 2) {
+    const int* v = map.find(k);
+    ASSERT_NE(v, nullptr) << "key " << k << " stranded by backward shift";
+    EXPECT_EQ(*v, static_cast<int>(k));
+  }
+  // Erased keys can be reinserted and found again.
+  for (std::int64_t k = 0; k < 64; k += 2) map.set(k, -1);
+  for (std::int64_t k = 0; k < 64; k += 2) {
+    ASSERT_NE(map.find(k), nullptr);
+    EXPECT_EQ(*map.find(k), -1);
+  }
+}
+
+TEST(FlatSegmentMap, EraseIfReexaminesTheHoleSlot) {
+  // After a backward shift the erased slot holds a new candidate; erase_if
+  // must test it too or consecutive doomed entries survive.  Exercise many
+  // layouts and check against the reference filter.
+  Rng rng(77);
+  for (int round = 0; round < 50; ++round) {
+    FlatSegmentMap<int> map;
+    std::unordered_map<std::int64_t, int> reference;
+    const int n = 1 + static_cast<int>(rng.uniform_int(0, 99));
+    for (int i = 0; i < n; ++i) {
+      const auto key = rng.uniform_int(0, 63);
+      const int value = static_cast<int>(rng.uniform_int(0, 9));
+      map.set(key, value);
+      reference[key] = value;
+    }
+    map.erase_if([](int value) { return value < 5; });
+    for (auto it = reference.begin(); it != reference.end();) {
+      it = it->second < 5 ? reference.erase(it) : ++it;
+    }
+    EXPECT_EQ(map.size(), reference.size()) << "round " << round;
+    for (const auto& [key, value] : reference) {
+      const int* v = map.find(key);
+      ASSERT_NE(v, nullptr) << "round " << round << " key " << key;
+      EXPECT_EQ(*v, value);
+    }
+  }
+}
+
+TEST(FlatSegmentMap, ClearKeepsCapacity) {
+  FlatSegmentMap<int> map;
+  for (std::int64_t k = 0; k < 100; ++k) map.set(k, 1);
+  const std::size_t bytes = map.memory_bytes();
+  map.clear();
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.memory_bytes(), bytes);
+  map.set(5, 2);
+  EXPECT_EQ(map.size(), 1u);
+}
+
+}  // namespace
+}  // namespace gs::util
