@@ -32,6 +32,10 @@ struct BenchOptions {
   /// without recompiling.
   std::size_t tick_shard_size = 0;
   std::string capacity_model = "shared-fifo";
+  bool cdn_assist = false;
+  double cdn_rate = 120.0;
+  double cdn_pause = 3.0;
+  double cdn_resume = 1.0;
 
   /// Applies the engine-level options to a run configuration.  Every bench
   /// calls this on its base Config so flags like --batch-dispatch work
@@ -45,6 +49,10 @@ struct BenchOptions {
     config.enable_peer_pool(peer_pool);
     if (tick_shard_size > 0) config.engine.tick_shard_size = tick_shard_size;
     config.engine.supplier_capacity = exp::capacity_from_string(capacity_model);
+    config.enable_cdn_assist(cdn_assist);
+    config.engine.cdn_assist_rate = cdn_rate;
+    config.engine.cdn_assist_pause_s = cdn_pause;
+    config.engine.cdn_assist_resume_s = cdn_resume;
   }
 };
 
@@ -78,6 +86,13 @@ inline bool parse_bench_flags(int argc, char** argv, BenchOptions& options,
                    "peers per tick shard / sweep group (0 = engine default)");
   flags.define("capacity-model", "shared-fifo",
                "supplier capacity model: shared-fifo|per-link|token-bucket");
+  flags.define_bool("cdn-assist", false,
+                    "CDN-assisted fast switch (changes dynamics by design)");
+  flags.define_double("cdn-rate", 120.0, "CDN uplink capacity (segments/s)");
+  flags.define_double("cdn-pause", 3.0,
+                      "buffered lead (s) at which a patch burst pauses");
+  flags.define_double("cdn-resume", 1.0,
+                      "buffered lead (s) under which a paused burst resumes");
   flags.define("csv", "", "optional CSV output path");
   flags.define("log", "warn", "log level");
   if (!flags.parse(argc, argv)) return false;
@@ -94,6 +109,10 @@ inline bool parse_bench_flags(int argc, char** argv, BenchOptions& options,
   options.peer_pool = flags.get_bool("peer-pool");
   options.tick_shard_size = static_cast<std::size_t>(flags.get_int("tick-shard-size"));
   options.capacity_model = flags.get("capacity-model");
+  options.cdn_assist = flags.get_bool("cdn-assist");
+  options.cdn_rate = flags.get_double("cdn-rate");
+  options.cdn_pause = flags.get_double("cdn-pause");
+  options.cdn_resume = flags.get_double("cdn-resume");
 
   std::string list = flags.get_bool("quick") ? "100,500" : flags.get("sizes");
   if (flags.get_bool("quick")) options.trials = 1;

@@ -5,6 +5,7 @@
 //   ./sweep_cli --sizes 200,1000 --trials 3 --topology ring --churn 0.05
 //   ./sweep_cli --sizes 500 --qs 80 --neighbor 7 --capacity-model per-link --csv out.csv
 //   ./sweep_cli --sizes 10000 --tick-shard 256 --parallel-shards 8 --incremental-availability
+#include <cmath>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -82,6 +83,18 @@ int main(int argc, char** argv) {
                       "seconds after the first switch the crowd starts joining");
   flags.define_double("flash-crowd-duration", 2.0,
                       "seconds over which the crowd is admitted");
+  flags.define_bool("cdn-assist", false,
+                    "CDN-assisted fast switch: a capacity-limited patch source "
+                    "bursts the head of the new session to switching peers "
+                    "(changes dynamics by design; off = bit-identical)");
+  flags.define_double("cdn-rate", 120.0, "CDN uplink capacity (segments/s)");
+  flags.define_double("cdn-latency-ms", 40.0, "fixed CDN->peer latency (ms)");
+  flags.define_double("cdn-pause", 3.0,
+                      "buffered lead (s) at which a patch burst pauses");
+  flags.define_double("cdn-resume", 1.0,
+                      "buffered lead (s) under which a paused burst resumes");
+  flags.define_int("cdn-span", 0,
+                   "cap on patched segments per switch (0 = the full Qs prefix)");
   flags.define_bool("print-diagnostics", false,
                     "run one fast-algorithm trial per size and print the engine "
                     "diagnostics (events, probes, shard/drain counters)");
@@ -122,6 +135,12 @@ int main(int argc, char** argv) {
   }
   base.engine.push_fresh_segments = flags.get_bool("push");
   base.engine.push_fanout = static_cast<std::size_t>(flags.get_int("push-fanout"));
+  base.enable_cdn_assist(flags.get_bool("cdn-assist"));
+  base.engine.cdn_assist_rate = flags.get_double("cdn-rate");
+  base.engine.cdn_assist_latency_ms = flags.get_double("cdn-latency-ms");
+  base.engine.cdn_assist_pause_s = flags.get_double("cdn-pause");
+  base.engine.cdn_assist_resume_s = flags.get_double("cdn-resume");
+  base.engine.cdn_assist_span = static_cast<std::size_t>(flags.get_int("cdn-span"));
 
   const auto sizes = parse_sizes(flags.get("sizes"));
   const auto points =
@@ -133,18 +152,34 @@ int main(int argc, char** argv) {
 
   if (flags.get_bool("print-diagnostics")) {
     std::printf("\nengine diagnostics (one fast-algorithm trial per size)\n");
-    std::printf("%8s %12s %12s %10s %9s %9s %11s %10s %12s %11s %9s %11s %9s\n", "peers",
-                "events", "probes", "idx_upd", "sweeps", "replan", "cross_shard", "dlv_batch",
-                "journal_mrg", "superbatch", "flash", "bytes/peer", "rss_mb");
+    std::printf("%8s %12s %12s %10s %9s %9s %11s %10s %12s %11s %9s %8s %8s %11s %9s\n",
+                "peers", "events", "probes", "idx_upd", "sweeps", "replan", "cross_shard",
+                "dlv_batch", "journal_mrg", "superbatch", "flash", "cdn_mb", "assisted",
+                "bytes/peer", "rss_mb");
     for (const std::size_t n : sizes) {
       gs::exp::Config config = base;
       config.node_count = n;
       config.algorithm = gs::exp::AlgorithmKind::kFast;
       const gs::exp::RunResult result = gs::exp::run_once(config);
       const gs::stream::EngineStats& s = result.stats;
+      // Telemetry can be absent (no /proc => peak_rss_bytes == 0; no peers
+      // => bytes_per_peer is NaN): print "n/a", never a fake 0.0.
+      char bytes_per_peer[32];
+      char rss_mb[32];
+      if (!std::isnan(s.bytes_per_peer)) {
+        std::snprintf(bytes_per_peer, sizeof(bytes_per_peer), "%.0f", s.bytes_per_peer);
+      } else {
+        std::snprintf(bytes_per_peer, sizeof(bytes_per_peer), "n/a");
+      }
+      if (s.peak_rss_bytes > 0) {
+        std::snprintf(rss_mb, sizeof(rss_mb), "%.1f",
+                      static_cast<double>(s.peak_rss_bytes) / (1024.0 * 1024.0));
+      } else {
+        std::snprintf(rss_mb, sizeof(rss_mb), "n/a");
+      }
       std::printf(
-          "%8zu %12llu %12llu %10llu %9llu %9llu %11llu %10llu %12llu %11llu %9zu %11.0f "
-          "%9.1f\n",
+          "%8zu %12llu %12llu %10llu %9llu %9llu %11llu %10llu %12llu %11llu %9zu %8.1f "
+          "%8zu %11s %9s\n",
           n, static_cast<unsigned long long>(s.events_popped),
           static_cast<unsigned long long>(s.availability_probes),
           static_cast<unsigned long long>(s.index_updates),
@@ -154,7 +189,8 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(s.delivery_batches),
           static_cast<unsigned long long>(s.delta_journal_merges),
           static_cast<unsigned long long>(s.superbatch_sweeps), s.flash_joins,
-          s.bytes_per_peer, static_cast<double>(s.peak_rss_bytes) / (1024.0 * 1024.0));
+          static_cast<double>(s.cdn_bytes_served) / (1024.0 * 1024.0),
+          s.cdn_assisted_switches, bytes_per_peer, rss_mb);
     }
   }
   if (!flags.get("csv").empty()) {

@@ -99,6 +99,21 @@ void Config::validate() const {
   if (engine.flash_crowd_joins > 0 && engine.flash_crowd_duration < 0.0) {
     throw std::invalid_argument("flash_crowd_duration must be >= 0");
   }
+  if (engine.cdn_assist) {
+    if (engine.cdn_assist_rate <= 0.0) {
+      throw std::invalid_argument("cdn_assist_rate must be positive");
+    }
+    if (engine.cdn_assist_latency_ms < 0.0) {
+      throw std::invalid_argument("cdn_assist_latency_ms must be >= 0");
+    }
+    if (engine.cdn_assist_horizon < 0.0) {
+      throw std::invalid_argument("cdn_assist_horizon must be >= 0");
+    }
+    if (engine.cdn_assist_resume_s < 0.0 ||
+        engine.cdn_assist_pause_s < engine.cdn_assist_resume_s) {
+      throw std::invalid_argument("need cdn_assist_pause_s >= cdn_assist_resume_s >= 0");
+    }
+  }
 }
 
 Config Config::paper_static(std::size_t node_count, AlgorithmKind algorithm, std::uint64_t seed) {

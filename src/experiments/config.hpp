@@ -97,6 +97,15 @@ struct Config {
   /// traffic change (see EngineStats::bytes_per_peer).
   void enable_peer_pool(bool on = true) { engine.peer_pool = on; }
 
+  /// Turns on the CDN-assisted fast switch (`--cdn-assist`): a capacity-
+  /// limited patch source bursts the head of the new session to switching
+  /// peers and hands off once their gossip suppliers cover the window.
+  /// Unlike the mechanism flags above this changes dynamics *by design*
+  /// (that is the point of the assist); with it off the plane is never
+  /// constructed and fixed-seed metrics stay bit-identical.  Tune via
+  /// engine.cdn_assist_* (rate, latency, pause/resume leads, span).
+  void enable_cdn_assist(bool on = true) { engine.cdn_assist = on; }
+
   /// Configures the flash-crowd scenario (`--flash-crowd-joins`): `joins`
   /// extra peers admitted at a uniform pace over `duration` seconds
   /// starting `start` seconds after the first switch.

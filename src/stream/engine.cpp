@@ -73,6 +73,23 @@ Engine::Engine(net::Graph graph, net::LatencyModel latency, EngineConfig config,
   }
   GS_CHECK(!config_.windowed_availability || config_.incremental_availability)
       << "windowed_availability requires incremental_availability";
+  if (config_.cdn_assist) {
+    // The CDN uplink runs the engine's configured contention policy over
+    // the plane's own state; its (non-batchable) delivery events route to
+    // the control shard, popped in the global (time, sequence) order like
+    // every other event.
+    CdnAssistConfig cdn_config;
+    cdn_config.rate = config_.cdn_assist_rate;
+    cdn_config.latency_ms = config_.cdn_assist_latency_ms;
+    cdn_config.accept_horizon = config_.cdn_assist_horizon;
+    cdn_config.pause_lead_s = config_.cdn_assist_pause_s;
+    cdn_config.resume_lead_s = config_.cdn_assist_resume_s;
+    cdn_config.capacity = config_.supplier_capacity;
+    cdn_config.token_bucket_burst = config_.token_bucket_burst;
+    cdn_config.data_bits = config_.wire.data_bits();
+    cdn_ = std::make_unique<CdnAssistPlane>(
+        sim_, cdn_config, [this](net::NodeId to, SegmentId id) { on_cdn_delivery(to, id); });
+  }
   // Warm-up traffic is outside the paper's measurement window.
   overhead_.set_enabled(false);
   // Degree-repair edges appear between existing peers deep inside
@@ -163,6 +180,7 @@ void Engine::tick(PeerNode& p, double now) {
   if (!tick_pre(p, now, scan_seq_)) return;
   tick_plan(p, now, scan_seq_, plan_seq_);
   tick_commit(p, now, scan_seq_, plan_seq_, /*validate=*/false);
+  if (cdn_) cdn_assist_tick(p, now);
 }
 
 bool Engine::tick_pre(PeerNode& p, double now, NeighborScan& scan) {
@@ -334,6 +352,12 @@ void Engine::run_parallel_sweep(const std::vector<std::uint32_t>& members, doubl
       if (batch_plans_[i].planned) ++stats_.planned_ticks;
       tick_commit(peers_[members[base + i]], now, batch_scans_[i], batch_plans_[i],
                   /*validate=*/true);
+      // The CDN step reads only sweep-stable state (buffers, timeline,
+      // registry) plus the member's own slot and the CDN's ledger, and the
+      // commit loop runs it in member order — exactly the sequential
+      // tick()'s interleaving, so assisted runs stay bit-identical at
+      // every shard count.
+      if (cdn_) cdn_assist_tick(peers_[members[base + i]], now);
     }
   }
 }
@@ -485,6 +509,84 @@ bool Engine::issue_one(PeerNode& p, SegmentId id, net::NodeId supplier, double n
   ++p.requests_issued;
   ++stats_.requests_issued;
   return true;
+}
+
+// ----------------------------------------------------------- CDN assist ---
+//
+// Runs after tick_commit in both dispatch paths, so patch requests consume
+// only the inbound budget the gossip scheduler left this period: under
+// budget_carry = 1 that remainder is use-it-or-lose-it, so the patch
+// stream fills the idle tail of the peer's inbound link instead of
+// displacing gossip pulls.  Requested ids enter p.pending like any gossip
+// request, so the scheduler never double-requests a patched segment, and
+// deliveries run through deliver_segment — q2 progress, prepared times and
+// playback flow exactly as for swarm data.
+
+void Engine::cdn_assist_tick(PeerNode& p, double now) {
+  CdnAssistPlane::PeerView view;
+  const int k = p.active_switch();
+  SegmentId begin = 0;
+  SegmentId end = kNoSegment;
+  if (k >= 0 && p.known_boundary() >= k && !p.sw_prepared()) {
+    view.switch_index = k;
+    const SegmentId anchor = p.playback_anchor();
+    view.rest_play_s = static_cast<double>(next_missing(p.received, anchor) - anchor) /
+                       config_.playback_rate;
+    begin = timeline_.session(static_cast<std::size_t>(k)).last + 1;
+    auto span = static_cast<SegmentId>(required_prefix(k));
+    if (config_.cdn_assist_span > 0) {
+      span = std::min<SegmentId>(span, static_cast<SegmentId>(config_.cdn_assist_span));
+    }
+    end = begin + span - 1;
+    // Hand off only once the whole patch window exists and every missing
+    // id in it has an alive gossip supplier — before the new source has
+    // generated that far, the swarm cannot yet take over.
+    view.suppliers_cover =
+        registry_.next_id() - 1 >= end && cdn_window_covered(p, begin, end);
+  }
+  if (!cdn_->control(p.id, view, now)) return;
+  const SegmentId head = std::min<SegmentId>(end, registry_.next_id() - 1);
+  for (SegmentId id = begin; id <= head; ++id) {
+    if (p.in_budget().whole() == 0) break;
+    if (p.has_received(id)) continue;
+    const double* retry_at = p.pending.find(id);
+    if (retry_at != nullptr && *retry_at > now) continue;
+    if (!cdn_->request(p.id, id, now)) break;  // CDN backlog past the horizon
+    overhead_.charge_request(1);
+    p.in_budget().spend(1.0);
+    p.pending.set(id, now + config_.pending_timeout);
+  }
+}
+
+bool Engine::cdn_window_covered(const PeerNode& p, SegmentId begin, SegmentId end) const {
+  // Direct neighbour-buffer probes in every availability mode: the
+  // windowed views may not cover a far-ahead patch window, and the
+  // legacy / incremental / windowed paths must agree bit for bit (the
+  // composition invariant).  Only assisting mid-switch peers pay this
+  // scan, and only until their handoff.
+  for (SegmentId id = begin; id <= end; ++id) {
+    if (p.has_received(id)) continue;
+    bool supplied = false;
+    for (const net::NodeId nb : graph_.neighbors(p.id)) {
+      const PeerNode& n = peers_[nb];
+      if (n.alive() && n.buffer.contains(id)) {
+        supplied = true;
+        break;
+      }
+    }
+    if (!supplied) return false;
+  }
+  return true;
+}
+
+void Engine::on_cdn_delivery(net::NodeId to, SegmentId id) {
+  PeerNode& p = peers_[to];
+  p.pending.erase(id);
+  if (!p.alive()) return;  // left while the patch was in flight
+  // count_wire: a patched segment is real data over the wire — it feeds
+  // the overhead-ratio denominator and segments_delivered like any swarm
+  // delivery (the CDN byte-cost is tallied separately by the plane).
+  deliver_segment(p, id, sim_.now(), /*count_wire=*/true);
 }
 
 // ----------------------------------------------------------- data path ---

@@ -27,6 +27,7 @@
 #include "sim/periodic.hpp"
 #include "sim/simulator.hpp"
 #include "stream/availability_index.hpp"
+#include "stream/cdn_assist.hpp"
 #include "stream/bandwidth.hpp"
 #include "stream/metrics.hpp"
 #include "stream/peer_node.hpp"
@@ -216,6 +217,31 @@ struct EngineConfig {
   /// neighbours without a request (costs data bits; adds redundancy).
   bool push_fresh_segments = false;
   std::size_t push_fanout = 2;
+  /// CDN-assisted fast switch (FCC-style patch source; see
+  /// stream/cdn_assist.hpp).  On each source switch a capacity-limited CDN
+  /// node serves the head of the new session to peers whose gossip
+  /// suppliers have not caught up: after the gossip scheduler spends its
+  /// tick budget, an assisted peer requests its missing prefix ids from the
+  /// CDN with whatever inbound budget is left (so the patch stream never
+  /// displaces scheduled gossip pulls, it fills the idle remainder of the
+  /// peer's inbound link).  A per-peer controller pauses the burst when the
+  /// buffered lead reaches cdn_assist_pause_s, resumes it under
+  /// cdn_assist_resume_s, and hands off to the swarm once every missing
+  /// patch-window id has an alive gossip supplier.  Unlike the mechanism
+  /// flags above this changes the dynamics *by design* — switch latency
+  /// drops at a CDN byte-cost (see bench_ablation_cdn_assist) — but with
+  /// the flag off the plane is never constructed and all fixed-seed
+  /// metrics stay bit-identical across every existing flag combination,
+  /// and with it on they are still bit-identical at every shard count
+  /// (both enforced by stream_determinism_test).
+  bool cdn_assist = false;
+  double cdn_assist_rate = 120.0;       ///< CDN uplink capacity (segments/s)
+  double cdn_assist_latency_ms = 40.0;  ///< fixed server latency (no jitter)
+  double cdn_assist_horizon = 2.0;      ///< max CDN backlog (s) to accept
+  double cdn_assist_pause_s = 3.0;      ///< buffered lead that pauses a burst
+  double cdn_assist_resume_s = 1.0;     ///< lead that resumes a paused burst
+  /// Patch window cap in segments (0 = the whole Qs startup prefix).
+  std::size_t cdn_assist_span = 0;
 
   /// Ping sampling for joiners (matches net::TraceSynthesisOptions).
   double join_ping_min_ms = 10.0;
@@ -280,10 +306,25 @@ struct EngineStats {
   std::uint64_t superbatch_sweeps = 0;
   /// Flash-crowd joiners admitted (subset of `joins`).
   std::size_t flash_joins = 0;
+  /// CDN-assist plane (cdn_assist only): patch segments / wire bytes the
+  /// CDN served, requests bounced off its full backlog, (peer, switch)
+  /// enrollments, coverage-driven handoffs, pause/resume controller
+  /// transitions, and the mean seconds from enrollment to handoff (or
+  /// assist end).
+  std::uint64_t cdn_segments_served = 0;
+  std::uint64_t cdn_bytes_served = 0;
+  std::uint64_t cdn_requests_rejected = 0;
+  std::size_t cdn_assisted_switches = 0;
+  std::size_t cdn_handoffs = 0;
+  std::uint64_t cdn_pauses = 0;
+  std::uint64_t cdn_resumes = 0;
+  double cdn_mean_assist_s = 0.0;
   /// Memory-plane telemetry, filled at the end of run(): heap bytes of all
   /// per-peer state (SoA pool + each node's containers), the same divided
-  /// by the final peer count, and the process-wide peak RSS (0 when the
-  /// platform offers no probe; includes non-peer state by nature).
+  /// by the final peer count (NaN when there are no peers to divide by —
+  /// absent telemetry, distinguishable from a genuine 0), and the
+  /// process-wide peak RSS (0 when the platform offers no probe — report
+  /// it as "n/a", not as 0 bytes; includes non-peer state by nature).
   std::uint64_t peer_state_bytes = 0;
   double bytes_per_peer = 0.0;
   std::uint64_t peak_rss_bytes = 0;
@@ -423,6 +464,19 @@ class Engine {
   void build_candidates(PeerNode& p, double now, const NeighborScan& scan, TickPlan& plan);
   bool issue_one(PeerNode& p, SegmentId id, net::NodeId supplier, double now);
 
+  // --- CDN assist (config_.cdn_assist) ---
+  /// Runs after tick_commit: computes the controller's view of `p` (switch
+  /// eligibility, rest play time, gossip coverage of the patch window) and
+  /// requests missing prefix ids from the CDN with the tick's leftover
+  /// inbound budget.
+  void cdn_assist_tick(PeerNode& p, double now);
+  /// Every missing id in [begin, end] has at least one alive neighbour
+  /// holding it.  Probes neighbour buffers directly in all availability
+  /// modes so legacy / incremental / windowed runs agree bit for bit.
+  [[nodiscard]] bool cdn_window_covered(const PeerNode& p, SegmentId begin,
+                                        SegmentId end) const;
+  void on_cdn_delivery(net::NodeId to, SegmentId id);
+
   // --- data path ---
   void on_delivery(net::NodeId to, SegmentId id);
   void deliver_segment(PeerNode& p, SegmentId id, double now, bool count_wire);
@@ -506,6 +560,9 @@ class Engine {
   /// Incremental per-peer neighbour-availability views
   /// (config_.incremental_availability; disabled and empty otherwise).
   AvailabilityIndex availability_;
+  /// CDN patch-source plane (config_.cdn_assist; null otherwise, so the
+  /// disabled engine is byte-for-byte the pre-CDN engine).
+  std::unique_ptr<CdnAssistPlane> cdn_;
 
   std::vector<PeerNode> peers_;
   /// Struct-of-arrays hot peer state; every element of peers_ is bound to

@@ -34,6 +34,7 @@ void Engine::init_peers() {
   pool_.resize(n);
   for (net::NodeId v = 0; v < n; ++v) peers_[v].bind(pool_, v);
   transfers_.ensure_nodes(peers_.size());
+  if (cdn_) cdn_->ensure_nodes(peers_.size());
   std::vector<char> is_source(graph_.node_count(), 0);
   for (const Session& s : timeline_.sessions()) is_source[s.source] = 1;
   for (net::NodeId v = 0; v < graph_.node_count(); ++v) {
@@ -165,6 +166,7 @@ net::NodeId Engine::handle_join() {
   pool_.resize(peers_.size());
   peers_.back().bind(pool_, peers_.size() - 1);
   transfers_.ensure_nodes(peers_.size());
+  if (cdn_) cdn_->ensure_nodes(peers_.size());
   PeerNode& p = peers_.back();
   init_peer_state(p, v);
   ++stats_.joins;
@@ -359,10 +361,29 @@ std::vector<SwitchMetrics> Engine::run() {
   std::uint64_t peer_bytes = pool_.memory_bytes();
   for (const PeerNode& p : peers_) peer_bytes += p.memory_bytes();
   stats_.peer_state_bytes = peer_bytes;
-  stats_.bytes_per_peer = peers_.empty() ? 0.0
+  // NaN (not 0.0) when there are no peers: consumers must be able to tell
+  // "telemetry absent" from a genuine zero-byte measurement.
+  stats_.bytes_per_peer = peers_.empty() ? std::numeric_limits<double>::quiet_NaN()
                                          : static_cast<double>(peer_bytes) /
                                                static_cast<double>(peers_.size());
+  // 0 means /proc (or the platform equivalent) is absent — report "n/a"
+  // downstream, never "0.0 MiB".
   stats_.peak_rss_bytes = util::peak_rss_bytes();
+
+  if (cdn_) {
+    const CdnAssistPlane::Stats& cs = cdn_->stats();
+    stats_.cdn_segments_served = cs.segments_served;
+    stats_.cdn_bytes_served = cs.bytes_served;
+    stats_.cdn_requests_rejected = cs.requests_rejected;
+    stats_.cdn_assisted_switches = cs.assisted;
+    stats_.cdn_handoffs = cs.handoffs;
+    stats_.cdn_pauses = cs.pauses;
+    stats_.cdn_resumes = cs.resumes;
+    stats_.cdn_mean_assist_s =
+        cs.assist_time_count == 0
+            ? 0.0
+            : cs.assist_time_sum / static_cast<double>(cs.assist_time_count);
+  }
 
   // Censor peers that never completed within the horizon, then compute the
   // per-switch overhead ratios from the snapshot deltas.

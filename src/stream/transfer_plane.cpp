@@ -23,8 +23,14 @@ namespace {
 
 /// One FIFO per supplier shared by all requesters: a new transfer starts
 /// when the supplier's uplink drains, regardless of who asked.
+///
+/// Two storage modes: plane-backed (a reference into TransferPlane's uplink
+/// vector, which pushes and pulls share and the plane grows itself) and
+/// owned (standalone models from make_capacity_model carry their own
+/// vector, grown by ensure_nodes).
 class SharedFifoCapacity final : public CapacityModel {
  public:
+  SharedFifoCapacity() : uplink_busy_until_(owned_) {}
   explicit SharedFifoCapacity(std::vector<double>& uplink_busy_until)
       : uplink_busy_until_(uplink_busy_until) {}
 
@@ -44,11 +50,16 @@ class SharedFifoCapacity final : public CapacityModel {
 
   [[nodiscard]] bool supplier_shared() const noexcept override { return true; }
 
-  void ensure_nodes(std::size_t /*count*/) override {
-    // State is the plane's uplink vector, which the plane grows itself.
+  void ensure_nodes(std::size_t count) override {
+    // Plane-backed state is the plane's uplink vector, which the plane
+    // grows itself; only owned storage grows here.
+    if (&uplink_busy_until_ == &owned_ && owned_.size() < count) {
+      owned_.resize(count, kIdle);
+    }
   }
 
  private:
+  std::vector<double> owned_;
   std::vector<double>& uplink_busy_until_;
 };
 
@@ -148,6 +159,20 @@ std::unique_ptr<CapacityModel> make_capacity(SupplierCapacityModel kind,
 }
 
 }  // namespace
+
+std::unique_ptr<CapacityModel> make_capacity_model(SupplierCapacityModel kind,
+                                                   double token_bucket_burst) {
+  switch (kind) {
+    case SupplierCapacityModel::kSharedFifo:
+      return std::make_unique<SharedFifoCapacity>();
+    case SupplierCapacityModel::kPerLink:
+      return std::make_unique<PerLinkCapacity>();
+    case SupplierCapacityModel::kTokenBucket:
+      return std::make_unique<TokenBucketCapacity>(token_bucket_burst);
+  }
+  GS_CHECK(false) << "unreachable capacity model";
+  return nullptr;
+}
 
 TransferPlane::TransferPlane(sim::Simulator& sim, net::LatencyModel& latency,
                              SupplierCapacityModel kind, double accept_horizon,

@@ -81,6 +81,14 @@ class CapacityModel {
   virtual void ensure_nodes(std::size_t count) = 0;
 };
 
+/// Standalone capacity-model factory: a self-contained model of `kind`
+/// owning all of its state (the shared-FIFO variant keeps its own uplink
+/// vector, grown by ensure_nodes).  This is how subsystems other than the
+/// TransferPlane — e.g. the CDN-assist plane's patch-source uplink — get a
+/// contention policy governed by the same model zoo as peer uplinks.
+[[nodiscard]] std::unique_ptr<CapacityModel> make_capacity_model(
+    SupplierCapacityModel kind, double token_bucket_burst = 4.0);
+
 class TransferPlane final : public sim::EventSink {
  public:
   using DeliveryFn = std::function<void(net::NodeId to, SegmentId id)>;

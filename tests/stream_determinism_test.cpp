@@ -42,6 +42,9 @@ struct RunSpec {
   bool peer_pool = false;
   /// Flash-crowd joiners admitted shortly after the first switch (0 = off).
   std::size_t flash_joins = 0;
+  /// CDN-assisted fast switch (changes dynamics by design when on; off must
+  /// stay bit-identical to a build without the plane).
+  bool cdn = false;
   std::size_t parallel = 0;
   std::size_t tick_shard = 16;
   std::vector<net::NodeId> sources = {0, 1};
@@ -72,6 +75,7 @@ RunOutput run_setup(const RunSpec& setup) {
   config.parallel_delivery = setup.delivery_wave;
   config.peer_pool = setup.peer_pool;
   config.flash_crowd_joins = setup.flash_joins;
+  config.cdn_assist = setup.cdn;
   config.parallel_shards = setup.parallel;
   config.tick_shard_size = setup.tick_shard;
 
@@ -128,6 +132,14 @@ void expect_identical(const RunOutput& a, const RunOutput& b) {
   EXPECT_EQ(a.stats.leaves, b.stats.leaves);
   EXPECT_EQ(a.stats.old_stream_requests, b.stats.old_stream_requests);
   EXPECT_EQ(a.stats.new_stream_requests, b.stats.new_stream_requests);
+  EXPECT_EQ(a.stats.cdn_segments_served, b.stats.cdn_segments_served);
+  EXPECT_EQ(a.stats.cdn_bytes_served, b.stats.cdn_bytes_served);
+  EXPECT_EQ(a.stats.cdn_requests_rejected, b.stats.cdn_requests_rejected);
+  EXPECT_EQ(a.stats.cdn_assisted_switches, b.stats.cdn_assisted_switches);
+  EXPECT_EQ(a.stats.cdn_handoffs, b.stats.cdn_handoffs);
+  EXPECT_EQ(a.stats.cdn_pauses, b.stats.cdn_pauses);
+  EXPECT_EQ(a.stats.cdn_resumes, b.stats.cdn_resumes);
+  EXPECT_EQ(a.stats.cdn_mean_assist_s, b.stats.cdn_mean_assist_s);
 }
 
 TEST(Determinism, FastSwitchReproducesIdenticalMetrics) {
@@ -822,6 +834,96 @@ TEST(PeerPool, ReportsMemoryTelemetry) {
   EXPECT_GT(legacy.stats.bytes_per_peer, 0.0);
   EXPECT_LT(pooled.stats.bytes_per_peer, legacy.stats.bytes_per_peer)
       << "the flat containers should shrink the per-peer footprint";
+}
+
+// ---------------------------------------------------------------------------
+// CDN-assisted fast switch.  Unlike the mechanism flags above, the assist
+// changes dynamics *by design*; what must hold is (a) fixed-seed runs with
+// the assist on reproduce themselves bit for bit, (b) the assist composes
+// with every mechanism flag — identical metrics at every shard count and
+// across the memory planes — and (c) with the assist off nothing changes
+// (covered implicitly by every other suite here: those runs never construct
+// the plane).
+
+RunOutput run_assisted(RunSpec setup) {
+  setup.cdn = true;
+  return run_setup(setup);
+}
+
+TEST(CdnAssist, AssistedRunsReproduceThemselves) {
+  RunSpec setup;
+  setup.seed = 83;
+  setup.cdn = true;
+  expect_identical(run_setup(setup), run_setup(setup));
+}
+
+TEST(CdnAssist, AssistedChurnRunsReproduceThemselves) {
+  RunSpec setup;
+  setup.seed = 89;
+  setup.cdn = true;
+  setup.churn = true;
+  expect_identical(run_setup(setup), run_setup(setup));
+}
+
+TEST(CdnAssist, AssistedMetricsIdenticalAtEveryShardCount) {
+  RunSpec setup;
+  setup.seed = 97;
+  setup.cdn = true;
+  const RunOutput sequential = run_setup(setup);
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{4}, std::size_t{7}}) {
+    RunSpec sharded = setup;
+    sharded.parallel = shards;
+    expect_identical(sequential, run_setup(sharded));
+  }
+}
+
+TEST(CdnAssist, AssistComposesWithMemoryPlane) {
+  RunSpec setup;
+  setup.seed = 101;
+  setup.cdn = true;
+  RunSpec pooled = setup;
+  pooled.peer_pool = true;
+  expect_identical(run_setup(setup), run_setup(pooled));
+}
+
+TEST(CdnAssist, AssistComposesWithBatchedIncrementalWindowed) {
+  RunSpec setup;
+  setup.seed = 103;
+  setup.cdn = true;
+  RunSpec stacked = setup;
+  stacked.batch = true;
+  stacked.windowed = true;
+  expect_identical(run_setup(setup), run_setup(stacked));
+}
+
+TEST(CdnAssist, AssistedFlashCrowdReproducesItself) {
+  RunSpec setup;
+  setup.seed = 107;
+  setup.cdn = true;
+  setup.flash_joins = 40;
+  setup.parallel = 4;
+  expect_identical(run_setup(setup), run_setup(setup));
+}
+
+TEST(CdnAssist, AssistedTokenBucketReproducesItself) {
+  RunSpec setup;
+  setup.seed = 109;
+  setup.cdn = true;
+  setup.token_bucket = true;
+  expect_identical(run_setup(setup), run_setup(setup));
+}
+
+TEST(CdnAssist, AssistActuallyServes) {
+  RunSpec setup;
+  setup.seed = 113;
+  const RunOutput out = run_assisted(setup);
+  EXPECT_GT(out.stats.cdn_assisted_switches, 0u) << "switching peers should enroll";
+  EXPECT_GT(out.stats.cdn_segments_served, 0u) << "the CDN should serve patch segments";
+  EXPECT_EQ(out.stats.cdn_bytes_served,
+            out.stats.cdn_segments_served * (30 * 1024 / 8));
+  const RunOutput baseline = run_setup(setup);
+  EXPECT_EQ(baseline.stats.cdn_segments_served, 0u);
+  EXPECT_EQ(baseline.stats.cdn_assisted_switches, 0u);
 }
 
 TEST(Determinism, DifferentSeedsProduceDifferentRuns) {

@@ -76,6 +76,51 @@ TEST(Flags, BadIntThrows) {
   EXPECT_THROW((void)flags.get_int("n"), std::runtime_error);
 }
 
+TEST(Flags, MissingValueForTrailingFlagThrowsNamingTheFlag) {
+  // A value-taking flag at the end of argv must fail loudly (naming the
+  // offending flag), never fall through with the default silently.
+  Flags flags;
+  flags.define_int("count", 5, "a count");
+  const char* argv[] = {"prog", "--count"};
+  try {
+    (void)flags.parse(2, const_cast<char**>(argv));
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("--count"), std::string::npos)
+        << "the error must name the flag: " << error.what();
+  }
+}
+
+TEST(Flags, ExplicitBoolValueForms) {
+  // Bare `--flag` means true; `--flag=false` (and friends) must turn a
+  // defaulted-true flag off.
+  Flags flags;
+  flags.define_bool("on-by-default", true, "");
+  flags.define_bool("off-by-default", false, "");
+  const char* argv[] = {"prog", "--on-by-default=false", "--off-by-default"};
+  ASSERT_TRUE(flags.parse(3, const_cast<char**>(argv)));
+  EXPECT_FALSE(flags.get_bool("on-by-default"));
+  EXPECT_TRUE(flags.get_bool("off-by-default"));
+}
+
+TEST(Flags, BareBoolDoesNotConsumeTheNextToken) {
+  // `--verbose false` keeps "false" as a positional: booleans only take a
+  // value through the `=` form, so a trailing bare bool is always legal.
+  Flags flags;
+  flags.define_bool("verbose", false, "");
+  const char* argv[] = {"prog", "--verbose", "false"};
+  ASSERT_TRUE(flags.parse(3, const_cast<char**>(argv)));
+  EXPECT_TRUE(flags.get_bool("verbose"));
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "false");
+
+  Flags trailing;
+  trailing.define_bool("verbose", false, "");
+  const char* argv2[] = {"prog", "--verbose"};
+  ASSERT_TRUE(trailing.parse(2, const_cast<char**>(argv2)));
+  EXPECT_TRUE(trailing.get_bool("verbose"));
+}
+
 TEST(Flags, Positional) {
   Flags flags;
   const char* argv[] = {"prog", "file1", "file2"};
