@@ -26,7 +26,12 @@ struct BenchOptions {
   bool delta_maps = false;
   bool windowed_availability = false;
   std::size_t parallel_shards = 0;
+  bool sequential_delivery = false;
+  bool sequential_commit = false;
   bool peer_pool = false;
+  std::size_t flash_crowd_joins = 0;
+  double flash_crowd_start = 0.5;
+  double flash_crowd_duration = 2.0;
   /// 0 = keep the engine default; ablation benches pass --tick-shard-size
   /// to exercise sweep granularity (and super-batching under lockstep)
   /// without recompiling.
@@ -46,7 +51,12 @@ struct BenchOptions {
         incremental_availability || delta_maps || windowed_availability, delta_maps);
     config.enable_windowed_availability(windowed_availability);
     config.enable_parallel_shards(parallel_shards);
+    config.engine.parallel_delivery = !sequential_delivery;
+    config.enable_parallel_commit(!sequential_commit);
     config.enable_peer_pool(peer_pool);
+    if (flash_crowd_joins > 0) {
+      config.enable_flash_crowd(flash_crowd_joins, flash_crowd_start, flash_crowd_duration);
+    }
     if (tick_shard_size > 0) config.engine.tick_shard_size = tick_shard_size;
     config.engine.supplier_capacity = exp::capacity_from_string(capacity_model);
     config.enable_cdn_assist(cdn_assist);
@@ -78,10 +88,23 @@ inline bool parse_bench_flags(int argc, char** argv, BenchOptions& options,
   flags.define_int("parallel-shards", 0,
                    "sharded parallel core: plan lanes / event-queue shards "
                    "(identical metrics at any count; 0 = sequential)");
+  flags.define_bool("sequential-delivery", false,
+                    "disable the parallel delivery wave of the sharded core "
+                    "(ablation; identical metrics, inline delivery pops)");
+  flags.define_bool("sequential-commit", false,
+                    "disable the parallel commit + book passes of the sharded "
+                    "core (ablation; identical metrics, member-order commits)");
   flags.define_bool("peer-pool", false,
                     "million-peer memory plane: flat pending/buffer/arrival "
                     "structures and the plan arena (identical metrics, "
                     "smaller bytes/peer)");
+  flags.define_int("flash-crowd-joins", 0,
+                   "flash-crowd scenario: this many extra peers join shortly "
+                   "after the first switch (0 = off)");
+  flags.define_double("flash-crowd-start", 0.5,
+                      "seconds after the first switch the crowd starts joining");
+  flags.define_double("flash-crowd-duration", 2.0,
+                      "seconds over which the crowd is admitted");
   flags.define_int("tick-shard-size", 0,
                    "peers per tick shard / sweep group (0 = engine default)");
   flags.define("capacity-model", "shared-fifo",
@@ -106,7 +129,12 @@ inline bool parse_bench_flags(int argc, char** argv, BenchOptions& options,
   options.delta_maps = flags.get_bool("delta-maps");
   options.windowed_availability = flags.get_bool("windowed-availability");
   options.parallel_shards = static_cast<std::size_t>(flags.get_int("parallel-shards"));
+  options.sequential_delivery = flags.get_bool("sequential-delivery");
+  options.sequential_commit = flags.get_bool("sequential-commit");
   options.peer_pool = flags.get_bool("peer-pool");
+  options.flash_crowd_joins = static_cast<std::size_t>(flags.get_int("flash-crowd-joins"));
+  options.flash_crowd_start = flags.get_double("flash-crowd-start");
+  options.flash_crowd_duration = flags.get_double("flash-crowd-duration");
   options.tick_shard_size = static_cast<std::size_t>(flags.get_int("tick-shard-size"));
   options.capacity_model = flags.get("capacity-model");
   options.cdn_assist = flags.get_bool("cdn-assist");

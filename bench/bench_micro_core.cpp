@@ -382,9 +382,15 @@ BENCHMARK(BM_DeliveryDrain)
 void BM_FullPipeline(benchmark::State& state) {
   const auto nodes = static_cast<std::size_t>(state.range(0));
   const auto shards = static_cast<std::size_t>(state.range(1));
+  const bool commit = state.range(2) != 0;
   std::uint64_t delivered = 0;
   std::uint64_t events = 0;
   double bytes_per_peer = 0.0;
+  std::uint64_t colour_classes = 0;
+  std::uint64_t fixups = 0;
+  std::uint64_t commits = 0;
+  std::uint64_t books = 0;
+  std::uint64_t steady_chunks = 0;
   std::uint64_t runs = 0;
   for (auto _ : state) {
     state.PauseTiming();
@@ -394,6 +400,7 @@ void BM_FullPipeline(benchmark::State& state) {
     config.enable_incremental_availability(true);
     config.enable_windowed_availability(true);
     config.enable_parallel_shards(shards);
+    config.enable_parallel_commit(commit);
     config.enable_peer_pool(true);
     config.engine.tick_shard_size = 256;   // the scale grain (see README)
     config.engine.horizon = 5.0;           // pipeline cost, not paper metrics
@@ -404,6 +411,11 @@ void BM_FullPipeline(benchmark::State& state) {
     delivered += engine->stats().segments_delivered;
     events += engine->stats().events_popped;
     bytes_per_peer += engine->stats().bytes_per_peer;
+    colour_classes += engine->stats().commit_colour_classes;
+    fixups += engine->stats().commit_conflict_fixups;
+    commits += engine->stats().parallel_commits;
+    books += engine->stats().parallel_books;
+    steady_chunks += engine->stats().arena_steady_chunks;
     ++runs;
   }
   state.counters["delivered"] =
@@ -412,11 +424,22 @@ void BM_FullPipeline(benchmark::State& state) {
       benchmark::Counter(static_cast<double>(events) / static_cast<double>(runs));
   state.counters["bytes_per_peer"] =
       benchmark::Counter(bytes_per_peer / static_cast<double>(runs));
+  state.counters["commit_colour_classes"] =
+      benchmark::Counter(static_cast<double>(colour_classes) / static_cast<double>(runs));
+  state.counters["commit_conflict_fixups"] =
+      benchmark::Counter(static_cast<double>(fixups) / static_cast<double>(runs));
+  state.counters["parallel_commits"] =
+      benchmark::Counter(static_cast<double>(commits) / static_cast<double>(runs));
+  state.counters["parallel_books"] =
+      benchmark::Counter(static_cast<double>(books) / static_cast<double>(runs));
+  state.counters["arena_steady_chunks"] =
+      benchmark::Counter(static_cast<double>(steady_chunks) / static_cast<double>(runs));
 }
 BENCHMARK(BM_FullPipeline)
-    ->ArgNames({"peers", "shards"})
-    ->Args({100000, 0})
-    ->Args({100000, 4})
+    ->ArgNames({"peers", "shards", "commit"})
+    ->Args({100000, 0, 1})
+    ->Args({100000, 4, 0})
+    ->Args({100000, 4, 1})
     ->Unit(benchmark::kMillisecond);
 
 // Million-peer memory smoke: one trimmed-dynamics switch experiment at

@@ -72,6 +72,9 @@ int main(int argc, char** argv) {
   flags.define_bool("sequential-delivery", false,
                     "disable the parallel delivery wave of the sharded core "
                     "(ablation; identical metrics, inline delivery pops)");
+  flags.define_bool("sequential-commit", false,
+                    "disable the parallel commit + book passes of the sharded "
+                    "core (ablation; identical metrics, member-order commits)");
   flags.define_bool("peer-pool", false,
                     "million-peer memory plane: flat pending/buffer/arrival "
                     "structures and the plan arena (identical metrics, "
@@ -127,6 +130,7 @@ int main(int argc, char** argv) {
   base.engine.tick_shard_size = static_cast<std::size_t>(flags.get_int("tick-shard"));
   base.enable_parallel_shards(static_cast<std::size_t>(flags.get_int("parallel-shards")));
   base.engine.parallel_delivery = !flags.get_bool("sequential-delivery");
+  base.enable_parallel_commit(!flags.get_bool("sequential-commit"));
   base.enable_peer_pool(flags.get_bool("peer-pool"));
   if (flags.get_int("flash-crowd-joins") > 0) {
     base.enable_flash_crowd(static_cast<std::size_t>(flags.get_int("flash-crowd-joins")),
@@ -152,10 +156,12 @@ int main(int argc, char** argv) {
 
   if (flags.get_bool("print-diagnostics")) {
     std::printf("\nengine diagnostics (one fast-algorithm trial per size)\n");
-    std::printf("%8s %12s %12s %10s %9s %9s %11s %10s %12s %11s %9s %8s %8s %11s %9s\n",
+    std::printf("%8s %12s %12s %10s %9s %9s %11s %10s %12s %11s %10s %8s %10s %9s %9s %8s "
+                "%8s %11s %9s\n",
                 "peers", "events", "probes", "idx_upd", "sweeps", "replan", "cross_shard",
-                "dlv_batch", "journal_mrg", "superbatch", "flash", "cdn_mb", "assisted",
-                "bytes/peer", "rss_mb");
+                "dlv_batch", "journal_mrg", "superbatch", "colour_cls", "fixups",
+                "par_commit", "par_book", "flash", "cdn_mb", "assisted", "bytes/peer",
+                "rss_mb");
     for (const std::size_t n : sizes) {
       gs::exp::Config config = base;
       config.node_count = n;
@@ -178,8 +184,8 @@ int main(int argc, char** argv) {
         std::snprintf(rss_mb, sizeof(rss_mb), "n/a");
       }
       std::printf(
-          "%8zu %12llu %12llu %10llu %9llu %9llu %11llu %10llu %12llu %11llu %9zu %8.1f "
-          "%8zu %11s %9s\n",
+          "%8zu %12llu %12llu %10llu %9llu %9llu %11llu %10llu %12llu %11llu %10llu %8llu "
+          "%10llu %9llu %9zu %8.1f %8zu %11s %9s\n",
           n, static_cast<unsigned long long>(s.events_popped),
           static_cast<unsigned long long>(s.availability_probes),
           static_cast<unsigned long long>(s.index_updates),
@@ -188,7 +194,11 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(s.cross_shard_events),
           static_cast<unsigned long long>(s.delivery_batches),
           static_cast<unsigned long long>(s.delta_journal_merges),
-          static_cast<unsigned long long>(s.superbatch_sweeps), s.flash_joins,
+          static_cast<unsigned long long>(s.superbatch_sweeps),
+          static_cast<unsigned long long>(s.commit_colour_classes),
+          static_cast<unsigned long long>(s.commit_conflict_fixups),
+          static_cast<unsigned long long>(s.parallel_commits),
+          static_cast<unsigned long long>(s.parallel_books), s.flash_joins,
           static_cast<double>(s.cdn_bytes_served) / (1024.0 * 1024.0),
           s.cdn_assisted_switches, bytes_per_peer, rss_mb);
     }

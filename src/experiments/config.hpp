@@ -90,6 +90,13 @@ struct Config {
   /// batched dispatch.
   void enable_parallel_shards(std::size_t shards) { engine.parallel_shards = shards; }
 
+  /// Disables (or re-enables) the parallel commit + book passes of the
+  /// sharded core (`--sequential-commit`; on by default with
+  /// parallel_shards).  Pure mechanism: fixed-seed metrics are
+  /// bit-identical either way; only wall clock and the commit-wave
+  /// diagnostics change.
+  void enable_parallel_commit(bool on = true) { engine.parallel_commit = on; }
+
   /// Turns on the million-peer memory plane (`--peer-pool`): flat
   /// open-addressed pending maps, ring-backed stream buffers, the bounded
   /// arrival ring and the per-tick plan arena.  Pure mechanism: fixed-seed

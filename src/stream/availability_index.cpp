@@ -120,6 +120,12 @@ void AvailabilityIndex::on_evict(const net::Graph& graph, const std::vector<Peer
   }
 }
 
+void AvailabilityIndex::apply_boundary(net::NodeId view, int boundary) {
+  View& w = views_[view];
+  if (!w.built) return;
+  w.boundary_max = std::max(w.boundary_max, boundary);
+}
+
 void AvailabilityIndex::on_boundary(const net::Graph& graph, net::NodeId owner, int boundary) {
   for (const net::NodeId nb : graph.neighbors(owner)) {
     View& w = views_[nb];

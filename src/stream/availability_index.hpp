@@ -122,6 +122,11 @@ class AvailabilityIndex {
   /// eviction removed the cached head (caller must recompute_head_for once
   /// the batch's buffer writes are final); false otherwise.
   [[nodiscard]] bool apply_evict(net::NodeId view, SegmentId victim);
+  /// Applies one journalled boundary delta to `view`: boundary_max rises to
+  /// at least `boundary`.  Max-monotone, so boundary deltas commute with
+  /// every other delta kind — they can ride the parallel merge wave in any
+  /// cross-owner interleaving and still land on the sequential end state.
+  void apply_boundary(net::NodeId view, int boundary);
   /// Recomputes `view`'s cached head from its alive neighbours' buffers.
   void recompute_head_for(const std::vector<PeerNode>& peers, net::NodeId view);
   /// Folds externally counted delta applications into updates_applied().

@@ -5,7 +5,6 @@
 
 #include <algorithm>
 #include <thread>
-#include <unordered_map>
 
 #include "util/check.hpp"
 #include "util/logging.hpp"
@@ -64,11 +63,22 @@ Engine::Engine(net::Graph graph, net::LatencyModel latency, EngineConfig config,
       shard_entries_.resize(shards);
       dirty_views_.resize(shards);
       lane_merges_.assign(shards, 0);
+      book_events_.resize(shards);
+      book_current_item_.assign(shards, 0);
       transfers_.set_delivery_batch(
           [this](const sim::PooledBatchItem* items, std::size_t count) {
             on_delivery_batch(items, count);
           });
       sim_.enable_batch_pop(true);
+    }
+    // One bump arena per plan lane: the sweep's candidate supplier lists
+    // stop falling back to the heap (the zero-allocation steady state now
+    // covers the parallel lanes).  Arenas reset at wave starts only.
+    const std::size_t lanes = std::min<std::size_t>(
+        config_.parallel_shards, std::max<std::size_t>(1, std::thread::hardware_concurrency()));
+    lane_arenas_.reserve(lanes);
+    for (std::size_t l = 0; l < lanes; ++l) {
+      lane_arenas_.push_back(std::make_unique<util::Arena>());
     }
   }
   GS_CHECK(!config_.windowed_availability || config_.incremental_availability)
@@ -178,6 +188,14 @@ void Engine::schedule_switch(int switch_index) {
 
 void Engine::tick(PeerNode& p, double now) {
   if (!tick_pre(p, now, scan_seq_)) return;
+  // Sequential dispatch reuses one plan slot, so the prior tick's supplier
+  // lists are dead and the arena can rewind before this tick's candidate
+  // build fills it.  (Parallel waves reset their lane arenas at wave start
+  // instead — a lane's earlier plans must survive to their commit.)
+  if (use_plan_arena_) {
+    plan_arena_.reset();
+    plan_seq_.arena = &plan_arena_;
+  }
   tick_plan(p, now, scan_seq_, plan_seq_);
   tick_commit(p, now, scan_seq_, plan_seq_, /*validate=*/false);
   if (cdn_) cdn_assist_tick(p, now);
@@ -208,10 +226,9 @@ void Engine::tick_plan(PeerNode& p, double now, const NeighborScan& scan, TickPl
   plan.candidates.clear();
   plan.requests.clear();
   plan.probes = 0;
-  // Sequential dispatch reuses one plan slot, so the prior tick's supplier
-  // lists are dead (cleared above; their deallocate is a no-op) and the
-  // arena can rewind before this tick's candidate build fills it.
-  if (use_plan_arena_) plan_arena_.reset();
+  plan.issued = 0;
+  plan.rejected = 0;
+  plan.staged.clear();
   if (p.in_budget().whole() == 0) return;
   plan.planned = true;
   plan.rng_before = p.rng;
@@ -259,6 +276,13 @@ void Engine::tick_commit(PeerNode& p, double now, const NeighborScan& scan, Tick
                          bool validate) {
   if (!plan.planned) return;
   if (validate && !plan.candidates.empty() && plan_is_stale(p, scan, plan)) {
+    if (plan.stage) {
+      // Stale on a commit lane: nothing may issue from here — the class
+      // barrier's fixup queue re-plans this member sequentially, where the
+      // live plane state it observes is exactly the sequential prefix.
+      plan.fixup = true;
+      return;
+    }
     // An earlier member committed capacity on a supplier this plan read:
     // its queue-delay estimates (and therefore the strategy's choices and
     // rng draws) may differ from what the sequential order would produce.
@@ -269,39 +293,42 @@ void Engine::tick_commit(PeerNode& p, double now, const NeighborScan& scan, Tick
     ++stats_.replanned_ticks;
     tick_plan(p, now, scan, plan);
   }
-  stats_.availability_probes += plan.probes;
+  // Stage mode folds every global counter at the wave's final drain, from
+  // the plan's final contents (a fixup re-plan overwrites them first, so
+  // the fold always matches the sequential charge).
+  if (!plan.stage) stats_.availability_probes += plan.probes;
   if (plan.candidates.empty()) return;
 
-  if (plan.split_active) {
-    ++stats_.split_ticks;
-    for (const ScheduledRequest& r : plan.requests) {
-      if (r.id > plan.s1_end) {
-        ++stats_.new_stream_requests;
-      } else {
-        ++stats_.old_stream_requests;
+  if (!plan.stage) {
+    if (plan.split_active) {
+      ++stats_.split_ticks;
+      for (const ScheduledRequest& r : plan.requests) {
+        if (r.id > plan.s1_end) {
+          ++stats_.new_stream_requests;
+        } else {
+          ++stats_.old_stream_requests;
+        }
       }
     }
+    candidates_seen_ += plan.candidates.size();
+    scheduled_seen_ += plan.requests.size();
   }
-  candidates_seen_ += plan.candidates.size();
-  scheduled_seen_ += plan.requests.size();
 
   // Supplier fallback on rejection (the strategy names one supplier per
   // segment; a saturated supplier should not cost the whole period when an
-  // alternate neighbour also holds the segment).  The id index is built
-  // lazily: most ticks see no rejection at all.
-  std::unordered_map<SegmentId, const CandidateSegment*> by_id;
+  // alternate neighbour also holds the segment).  The candidate walk emits
+  // ascending ids, so the fallback lookup is a binary search — no index to
+  // build, no steady-state allocation.
   for (const ScheduledRequest& r : plan.requests) {
     if (p.in_budget().whole() == 0) break;
-    if (issue_one(p, r.id, r.supplier, now)) continue;
-    if (by_id.empty()) {
-      by_id.reserve(plan.candidates.size());
-      for (const CandidateSegment& c : plan.candidates) by_id.emplace(c.id, &c);
-    }
-    const auto it = by_id.find(r.id);
-    if (it == by_id.end()) continue;
-    for (const SupplierView& alt : it->second->suppliers) {
+    if (issue_one(p, r.id, r.supplier, now, plan)) continue;
+    const auto it = std::lower_bound(
+        plan.candidates.begin(), plan.candidates.end(), r.id,
+        [](const CandidateSegment& c, SegmentId id) { return c.id < id; });
+    if (it == plan.candidates.end() || it->id != r.id) continue;
+    for (const SupplierView& alt : it->suppliers) {
       if (alt.node == r.supplier) continue;
-      if (issue_one(p, r.id, alt.node, now)) break;
+      if (issue_one(p, r.id, alt.node, now, plan)) break;
     }
   }
 }
@@ -328,6 +355,11 @@ void Engine::run_parallel_sweep(const std::vector<std::uint32_t>& members, doubl
   }
   for (std::size_t base = 0; base < n; base += wave) {
     const std::size_t count = std::min(wave, n - base);
+    // Rewind the lane arenas on the caller, behind the previous wave's
+    // barrier: every plan of that wave is committed, so its candidate
+    // lists are dead.  Never mid-wave — a lane plans several members per
+    // wave and the earlier ones must survive to their commit.
+    for (const std::unique_ptr<util::Arena>& a : lane_arenas_) a->reset();
     // Pre, in member order: all cross-peer-visible writes of a tick
     // (availability adverts, boundary learning, playback/metric
     // bookkeeping) happen here with exactly the interleaving the
@@ -337,13 +369,19 @@ void Engine::run_parallel_sweep(const std::vector<std::uint32_t>& members, doubl
       batch_plans_[i].live = tick_pre(peers_[members[base + i]], now, batch_scans_[i]);
     }
     // Plan, in parallel: pure reads of shared state plus disjoint writes
-    // (each member's own slot and rng).  The pool may be saturated by
-    // outer experiment sweeps — run_batch's caller lane guarantees
-    // progress.
-    util::global_pool().run_batch(count, lanes, [this, &members, base, now](std::size_t i) {
-      if (!batch_plans_[i].live) return;
-      tick_plan(peers_[members[base + i]], now, batch_scans_[i], batch_plans_[i]);
-    });
+    // (each member's own slot and rng).  Each lane bump-allocates supplier
+    // lists from its own arena.  The pool may be saturated by outer
+    // experiment sweeps — run_batch's caller lane guarantees progress.
+    util::global_pool().run_batch_lanes(
+        count, lanes, [this, &members, base, now](std::size_t i, std::size_t lane) {
+          if (!batch_plans_[i].live) return;
+          batch_plans_[i].arena = lane_arenas_[lane].get();
+          tick_plan(peers_[members[base + i]], now, batch_scans_[i], batch_plans_[i]);
+        });
+    if (config_.parallel_commit) {
+      commit_wave(members, base, count, lanes, now);
+      continue;
+    }
     // Commit, in member order: the per-shard outboxes (the plans) drain
     // deterministically — counters, requests, capacity commits, delivery
     // events — re-planning any member whose speculation went stale.
@@ -360,6 +398,122 @@ void Engine::run_parallel_sweep(const std::vector<std::uint32_t>& members, doubl
       if (cdn_) cdn_assist_tick(peers_[members[base + i]], now);
     }
   }
+  // Warm-up fence for the zero-allocation telemetry: lane-arena chunks
+  // allocated past this sweep count as steady-state allocations.
+  if (!arena_warm_marked_ && stats_.parallel_sweeps >= 16) {
+    arena_warm_marked_ = true;
+    arena_warm_chunks_ = 0;
+    for (const std::unique_ptr<util::Arena>& a : lane_arenas_) {
+      arena_warm_chunks_ += a->chunk_allocations();
+    }
+  }
+}
+
+void Engine::commit_wave(const std::vector<std::uint32_t>& members, std::size_t base,
+                         std::size_t count, std::size_t lanes, double now) {
+  // Colour by supplier contention.  A slot's contention set is exactly the
+  // alive list plan_is_stale reads — it covers every supplier the plan's
+  // queue-delay estimates touched and every capacity line its commit can
+  // write, so same-colour slots neither race nor perturb each other's
+  // staleness checks, and the layered rule (see commit_colouring.hpp) puts
+  // every conflicting predecessor in an earlier class.  Per-link capacity
+  // is requester-keyed — no conflicts, one class, no staleness.
+  const bool shared = transfers_.supplier_shared();
+  colouring_.colour_wave(
+      count, peers_.size(), [&](std::size_t i) -> const std::vector<net::NodeId>* {
+        const TickPlan& plan = batch_plans_[i];
+        if (!shared || !plan.live || !plan.planned || plan.candidates.empty()) return nullptr;
+        const net::NodeId v = members[base + i];
+        return availability_.enabled() ? &availability_.view(v).alive_neighbors
+                                       : &batch_scans_[i].alive;
+      });
+  stats_.commit_colour_classes += colouring_.classes;
+  if (class_slots_.size() < colouring_.classes) class_slots_.resize(colouring_.classes);
+  for (std::uint32_t c = 0; c < colouring_.classes; ++c) class_slots_[c].clear();
+  const std::uint64_t wave_base = capacity_commits_;
+  for (std::size_t i = 0; i < count; ++i) {
+    class_slots_[colouring_.colour[i]].push_back(static_cast<std::uint32_t>(i));
+    TickPlan& plan = batch_plans_[i];
+    plan.stage = true;
+    plan.fixup = false;
+    plan.commit_stamp = wave_base + 1 + i;
+  }
+
+  for (std::uint32_t c = 0; c < colouring_.classes; ++c) {
+    const std::vector<std::uint32_t>& slots = class_slots_[c];
+    if (slots.empty()) continue;
+    // The class commits on lanes: capacity commits and jitter draws land
+    // member-locally (disjoint supplier sets within the class), deliveries
+    // stage into the plan, counters defer.
+    util::global_pool().run_batch(slots.size(), lanes, [this, &members, base, &slots,
+                                                       now](std::size_t k) {
+      const std::uint32_t i = slots[k];
+      if (!batch_plans_[i].live || !batch_plans_[i].planned) return;
+      tick_commit(peers_[members[base + i]], now, batch_scans_[i], batch_plans_[i],
+                  /*validate=*/true);
+    });
+    // Fixup drain, member order within the class: a stale member re-plans
+    // against the live plane.  Its conflicting predecessors all sit in
+    // earlier classes (layered colouring) and are fully committed — the
+    // state it observes is exactly the sequential prefix — and same-class
+    // members touch none of its suppliers, so draining between classes
+    // changes nothing they see.
+    for (const std::uint32_t i : slots) {
+      TickPlan& plan = batch_plans_[i];
+      if (!plan.fixup) continue;
+      PeerNode& p = peers_[members[base + i]];
+      p.rng = plan.rng_before;
+      ++stats_.replanned_ticks;
+      ++stats_.commit_conflict_fixups;
+      tick_plan(p, now, batch_scans_[i], plan);
+      tick_commit(p, now, batch_scans_[i], plan, /*validate=*/false);
+    }
+  }
+
+  // Final drain, member order: fold the deferred counters from each plan's
+  // final contents and post the staged delivery events — sim_.after hands
+  // out global sequence numbers in call order, so the event stream is
+  // byte-identical to the sequential commit's.  The CDN step interleaves
+  // per member exactly like the sequential loop; deferring it behind the
+  // whole wave's capacity commits is invisible because it reads only
+  // sweep-stable state, the member's own slot and the CDN's private ledger.
+  for (std::size_t i = 0; i < count; ++i) {
+    TickPlan& plan = batch_plans_[i];
+    plan.stage = false;
+    if (!plan.live) continue;
+    PeerNode& p = peers_[members[base + i]];
+    if (plan.planned) {
+      ++stats_.planned_ticks;
+      if (!plan.fixup) ++stats_.parallel_commits;
+      plan.fixup = false;
+      stats_.availability_probes += plan.probes;
+      if (!plan.candidates.empty()) {
+        if (plan.split_active) {
+          ++stats_.split_ticks;
+          for (const ScheduledRequest& r : plan.requests) {
+            if (r.id > plan.s1_end) {
+              ++stats_.new_stream_requests;
+            } else {
+              ++stats_.old_stream_requests;
+            }
+          }
+        }
+        candidates_seen_ += plan.candidates.size();
+        scheduled_seen_ += plan.requests.size();
+      }
+      stats_.requests_issued += plan.issued;
+      stats_.requests_rejected += plan.rejected;
+      if (plan.issued > 0) overhead_.charge_request(plan.issued);
+      for (const StagedDelivery& d : plan.staged) {
+        transfers_.schedule_delivery(p.id, d.id, d.deliver_at, now);
+      }
+    }
+    if (cdn_) cdn_assist_tick(p, now);
+  }
+  // Advance the commit clock past every stamp this wave handed out, so the
+  // next wave's plans (stamped with the new base) can never read one of
+  // this wave's writes as stale.
+  capacity_commits_ = wave_base + count;
 }
 
 void Engine::snapshot_and_learn(PeerNode& p, NeighborScan& scan) {
@@ -448,7 +602,7 @@ void Engine::build_candidates(PeerNode& p, double now, const NeighborScan& scan,
   const SegmentId boundary =
       split_active ? timeline_.session(static_cast<std::size_t>(p.active_switch())).last
                    : kNoSegment;
-  const util::ArenaAllocator<SupplierView> salloc(use_plan_arena_ ? &plan_arena_ : nullptr);
+  const util::ArenaAllocator<SupplierView> salloc(plan.arena);
 
   // Legacy iterates every missing id and discovers per id that nobody
   // supplies it; the index jumps straight to missing-and-supplied ids
@@ -492,9 +646,38 @@ void Engine::build_candidates(PeerNode& p, double now, const NeighborScan& scan,
   }
 }
 
-bool Engine::issue_one(PeerNode& p, SegmentId id, net::NodeId supplier, double now) {
+bool Engine::issue_one(PeerNode& p, SegmentId id, net::NodeId supplier, double now,
+                       TickPlan& plan) {
   GS_CHECK_LT(supplier, peers_.size());
   PeerNode& s = peers_[supplier];
+  if (plan.stage) {
+    // Commit-lane issue: the capacity commit and jitter draw are
+    // member-safe (colouring keeps same-class supplier sets disjoint; the
+    // rng is the member's own); the simulator event and the global
+    // counters defer to the wave's member-order drain.
+    StagedDelivery d;
+    if (!s.alive() || !s.buffer.contains(id) ||
+        !transfers_.request_staged(p, s, id, now, d.deliver_at)) {
+      ++p.requests_rejected;
+      ++plan.rejected;
+      return false;
+    }
+    d.id = id;
+    plan.staged.push_back(d);
+    // Deterministic dirty stamp: wave base + 1 + member index.  Every
+    // staleness comparison is `stamp_written > stamp_read` with the read
+    // stamp at most the wave base, so any strictly-above-base value is
+    // equivalent to the sequential ++capacity_commits_ — and unlike it,
+    // this one is the same no matter which lane writes it.  Per-link
+    // capacity never reads these stamps (plan_is_stale short-circuits);
+    // skipping the write keeps concurrent same-supplier issues race-free.
+    if (transfers_.supplier_shared()) dirty_supplier_[supplier] = plan.commit_stamp;
+    ++plan.issued;
+    p.in_budget().spend(1.0);
+    p.pending.set(id, now + config_.pending_timeout);
+    ++p.requests_issued;
+    return true;
+  }
   if (!s.alive() || !s.buffer.contains(id) || !transfers_.request(p, s, id, now)) {
     ++p.requests_rejected;
     ++stats_.requests_rejected;
@@ -620,7 +803,9 @@ void Engine::deliver_segment(PeerNode& p, SegmentId id, double now, bool count_w
 }
 
 void Engine::deliver_bookkeeping(PeerNode& p, SegmentId id, double now, bool count_wire) {
-  if (count_wire) {
+  // Split book phase: the wire counters are globally ordered side effects —
+  // the tail replays them per item in pop order.
+  if (count_wire && !book_phase_) {
     overhead_.charge_data_segment();
     ++stats_.segments_delivered;
   }
@@ -649,11 +834,11 @@ void Engine::emit_view_deltas(net::NodeId owner, SegmentId gained, SegmentId evi
   // eviction (on_gain's whole neighbour loop runs before on_evict's).
   const std::size_t row = source_shard * data_shards_;
   for (const net::NodeId nb : graph_.neighbors(owner)) {
-    delta_journals_[row + nb % data_shards_].push_back({nb, gained, false});
+    delta_journals_[row + nb % data_shards_].push_back({nb, gained, ViewDelta::Kind::kGain});
   }
   if (evicted == kNoSegment) return;
   for (const net::NodeId nb : graph_.neighbors(owner)) {
-    delta_journals_[row + nb % data_shards_].push_back({nb, evicted, true});
+    delta_journals_[row + nb % data_shards_].push_back({nb, evicted, ViewDelta::Kind::kEvict});
   }
 }
 
@@ -670,71 +855,79 @@ void Engine::on_delivery_batch(const sim::PooledBatchItem* items, std::size_t co
       shards, std::max<std::size_t>(1, std::thread::hardware_concurrency()));
 
   // Partition into per-shard delivery lists (pop order preserved within a
-  // list; every delivery of one peer lands in that peer's shard list) and
-  // count per-peer multiplicity: a peer receiving several segments in one
-  // run must interleave buffer marks with its playback bookkeeping exactly
-  // as the inline order would, so its marks defer to the book pass.
+  // list; every delivery of one peer lands in that peer's shard list).
+  // The split book pass drains a shard's items strictly in order, so a
+  // multi-delivery peer's marks interleave with its bookkeeping exactly as
+  // inline; the mark/book path instead defers such peers' marks, tracked
+  // by the per-peer multiplicity counts.
+  const bool split = config_.parallel_commit;
   for (std::vector<std::uint32_t>& list : shard_entries_) list.clear();
-  if (batch_peer_count_.size() < peers_.size()) batch_peer_count_.resize(peers_.size(), 0);
+  if (!split && batch_peer_count_.size() < peers_.size()) {
+    batch_peer_count_.resize(peers_.size(), 0);
+  }
   batch_outcomes_.assign(count, MarkOutcome::kDead);
   for (std::size_t i = 0; i < count; ++i) {
     const auto to = static_cast<net::NodeId>(items[i].a);
     shard_entries_[to % shards].push_back(static_cast<std::uint32_t>(i));
-    if (batch_peer_count_[to] < 2) ++batch_peer_count_[to];
+    if (!split && batch_peer_count_[to] < 2) ++batch_peer_count_[to];
   }
 
-  // Mark wave: each lane owns one shard's peers — pending erases, buffer
-  // writes and received bits touch only this lane's peers, and the staged
-  // availability deltas go to this lane's private journal row.  Safe
-  // concurrent reads only otherwise (graph adjacency, the batch counts).
-  util::global_pool().run_batch(shards, lanes, [this, items](std::size_t s) {
-    for (const std::uint32_t idx : shard_entries_[s]) {
-      const auto to = static_cast<net::NodeId>(items[idx].a);
-      const auto id = static_cast<SegmentId>(items[idx].b);
+  if (split) {
+    book_split_drain(items, count, lanes);
+  } else {
+    // Mark wave: each lane owns one shard's peers — pending erases, buffer
+    // writes and received bits touch only this lane's peers, and the staged
+    // availability deltas go to this lane's private journal row.  Safe
+    // concurrent reads only otherwise (graph adjacency, the batch counts).
+    util::global_pool().run_batch(shards, lanes, [this, items](std::size_t s) {
+      for (const std::uint32_t idx : shard_entries_[s]) {
+        const auto to = static_cast<net::NodeId>(items[idx].a);
+        const auto id = static_cast<SegmentId>(items[idx].b);
+        PeerNode& p = peers_[to];
+        p.pending.erase(id);
+        if (!p.alive()) continue;  // left while the segment was in flight
+        if (batch_peer_count_[to] > 1) {
+          batch_outcomes_[idx] = MarkOutcome::kDeferred;
+          continue;
+        }
+        SegmentId evicted = kNoSegment;
+        if (!p.mark_received(id, &evicted)) {
+          batch_outcomes_[idx] = MarkOutcome::kDuplicate;
+          continue;
+        }
+        batch_outcomes_[idx] = MarkOutcome::kFresh;
+        if (availability_.enabled()) emit_view_deltas(to, id, evicted, s);
+      }
+    });
+
+    // Book pass, pop order: every globally ordered side effect — duplicate
+    // and wire counters, boundary learning, switch metrics, playback — runs
+    // exactly as the inline pops would.  Cross-peer state is only written
+    // (metric pushes, boundary deltas), never read, so the mark wave's early
+    // buffer writes for *other* peers are invisible here.
+    journal_deltas_ = availability_.enabled();
+    for (std::size_t i = 0; i < count; ++i) {
+      if (experiment_done_) break;  // the inline order stops popping here too
+      const auto to = static_cast<net::NodeId>(items[i].a);
+      const auto id = static_cast<SegmentId>(items[i].b);
       PeerNode& p = peers_[to];
-      p.pending.erase(id);
-      if (!p.alive()) continue;  // left while the segment was in flight
-      if (batch_peer_count_[to] > 1) {
-        batch_outcomes_[idx] = MarkOutcome::kDeferred;
-        continue;
+      switch (batch_outcomes_[i]) {
+        case MarkOutcome::kDead:
+          break;
+        case MarkOutcome::kDeferred:
+          deliver_segment(p, id, items[i].at, /*count_wire=*/true);
+          break;
+        case MarkOutcome::kDuplicate:
+          ++p.duplicates_received;
+          ++stats_.duplicates;
+          break;
+        case MarkOutcome::kFresh:
+          deliver_bookkeeping(p, id, items[i].at, /*count_wire=*/true);
+          break;
       }
-      SegmentId evicted = kNoSegment;
-      if (!p.mark_received(id, &evicted)) {
-        batch_outcomes_[idx] = MarkOutcome::kDuplicate;
-        continue;
-      }
-      batch_outcomes_[idx] = MarkOutcome::kFresh;
-      if (availability_.enabled()) emit_view_deltas(to, id, evicted, s);
     }
-  });
-
-  // Book pass, pop order: every globally ordered side effect — duplicate
-  // and wire counters, boundary learning, switch metrics, playback — runs
-  // exactly as the inline pops would.  Cross-peer state is only written
-  // (metric pushes, boundary deltas), never read, so the mark wave's early
-  // buffer writes for *other* peers are invisible here.
-  journal_deltas_ = availability_.enabled();
-  for (std::size_t i = 0; i < count; ++i) {
-    if (experiment_done_) break;  // the inline order stops popping here too
-    const auto to = static_cast<net::NodeId>(items[i].a);
-    const auto id = static_cast<SegmentId>(items[i].b);
-    PeerNode& p = peers_[to];
-    switch (batch_outcomes_[i]) {
-      case MarkOutcome::kDead:
-        break;
-      case MarkOutcome::kDeferred:
-        deliver_segment(p, id, items[i].at, /*count_wire=*/true);
-        break;
-      case MarkOutcome::kDuplicate:
-        ++p.duplicates_received;
-        ++stats_.duplicates;
-        break;
-      case MarkOutcome::kFresh:
-        deliver_bookkeeping(p, id, items[i].at, /*count_wire=*/true);
-        break;
-    }
+    journal_deltas_ = false;
   }
-  journal_deltas_ = false;
 
   // Merge wave: lane t applies the journalled deltas of the views shard t
   // owns, walking the journal rows in source order (per-owner delta
@@ -749,10 +942,16 @@ void Engine::on_delivery_batch(const sim::PooledBatchItem* items, std::size_t co
       std::uint64_t applied = 0;
       for (std::size_t s = 0; s <= data_shards_; ++s) {
         for (const ViewDelta& d : delta_journals_[s * data_shards_ + t]) {
-          if (d.evict) {
-            if (availability_.apply_evict(d.view, d.id)) dirty.push_back(d.view);
-          } else {
-            availability_.apply_gain(d.view, d.id);
+          switch (d.kind) {
+            case ViewDelta::Kind::kGain:
+              availability_.apply_gain(d.view, d.id);
+              break;
+            case ViewDelta::Kind::kEvict:
+              if (availability_.apply_evict(d.view, d.id)) dirty.push_back(d.view);
+              break;
+            case ViewDelta::Kind::kBoundary:
+              availability_.apply_boundary(d.view, static_cast<int>(d.id));
+              break;
           }
           ++applied;
         }
@@ -770,8 +969,109 @@ void Engine::on_delivery_batch(const sim::PooledBatchItem* items, std::size_t co
   }
 
   // Zero only the multiplicity entries this batch touched.
-  for (std::size_t i = 0; i < count; ++i) {
-    batch_peer_count_[static_cast<net::NodeId>(items[i].a)] = 0;
+  if (!split) {
+    for (std::size_t i = 0; i < count; ++i) {
+      batch_peer_count_[static_cast<net::NodeId>(items[i].a)] = 0;
+    }
+  }
+}
+
+void Engine::book_split_drain(const sim::PooledBatchItem* items, std::size_t count,
+                              std::size_t lanes) {
+  ++stats_.parallel_books;
+  const std::size_t shards = data_shards_;
+
+  // Phase wave: lane s drains shard s's items strictly in pop order —
+  // pending erase, buffer mark, and for fresh deliveries the full per-peer
+  // bookkeeping (boundary learning, switch progress, playback), all of
+  // which writes only the target peer's own state plus the lane's private
+  // journal row.  book_phase_ reroutes the globally ordered side effects —
+  // wire counters, metric pushes, experiment completion — into the lane's
+  // BookEvent log, keyed by the item being drained; boundary gossip
+  // journals as kBoundary deltas instead of writing neighbour views.
+  for (std::vector<BookEvent>& log : book_events_) log.clear();
+  book_phase_ = true;
+  util::global_pool().run_batch(shards, lanes, [this, items](std::size_t s) {
+    for (const std::uint32_t idx : shard_entries_[s]) {
+      book_current_item_[s] = idx;
+      const auto to = static_cast<net::NodeId>(items[idx].a);
+      const auto id = static_cast<SegmentId>(items[idx].b);
+      PeerNode& p = peers_[to];
+      p.pending.erase(id);
+      if (!p.alive()) continue;  // left while the segment was in flight
+      SegmentId evicted = kNoSegment;
+      if (!p.mark_received(id, &evicted)) {
+        // The duplicate counters are globally ordered — tail work.
+        batch_outcomes_[idx] = MarkOutcome::kDuplicate;
+        continue;
+      }
+      batch_outcomes_[idx] = MarkOutcome::kFresh;
+      if (availability_.enabled()) emit_view_deltas(to, id, evicted, s);
+      deliver_bookkeeping(p, id, items[idx].at, /*count_wire=*/true);
+    }
+  });
+  book_phase_ = false;
+
+  // Sequential tail, global pop order: one stable sort puts the logged
+  // events back into the batch's item order (within an item they are
+  // already in call order — one item's events land contiguously in one
+  // shard's log), then the walk replays the wire counters and metric
+  // pushes exactly as the inline pops would, stopping where the inline
+  // order stops.  The completing item's own events all replay (inline, the
+  // call stack finishes its item before the pop loop sees the stop flag).
+  book_merged_.clear();
+  for (const std::vector<BookEvent>& log : book_events_) {
+    book_merged_.insert(book_merged_.end(), log.begin(), log.end());
+  }
+  std::stable_sort(book_merged_.begin(), book_merged_.end(),
+                   [](const BookEvent& a, const BookEvent& b) { return a.item < b.item; });
+  std::size_t ev = 0;
+  for (std::size_t i = 0; i < count && !experiment_done_; ++i) {
+    const auto to = static_cast<net::NodeId>(items[i].a);
+    PeerNode& p = peers_[to];
+    switch (batch_outcomes_[i]) {
+      case MarkOutcome::kDuplicate:
+        ++p.duplicates_received;
+        ++stats_.duplicates;
+        break;
+      case MarkOutcome::kFresh:
+        overhead_.charge_data_segment();
+        ++stats_.segments_delivered;
+        break;
+      default:
+        break;
+    }
+    for (; ev < book_merged_.size() && book_merged_[ev].item == i; ++ev) {
+      const BookEvent& e = book_merged_[ev];
+      SwitchMetrics& m = timeline_.metrics(e.sw);
+      switch (e.kind) {
+        case BookEvent::Kind::kFinish:
+          m.finish_times.push_back(e.time - m.switch_time);
+          ++m.finished_s1;
+          check_experiment_complete();
+          break;
+        case BookEvent::Kind::kPrepared:
+          m.prepared_times.push_back(e.time - m.switch_time);
+          ++m.prepared_s2;
+          check_experiment_complete();
+          break;
+        case BookEvent::Kind::kS2Start:
+          m.s2_start_times.push_back(e.time - m.switch_time);
+          break;
+      }
+    }
+  }
+  // Post-stop revert: phase work past the stop item raised finished /
+  // prepared flags the inline order never reaches, and censor_unfinished
+  // reads those flags after the run.  Every logged event marks a
+  // false->true transition, so reverting is clearing.  The other post-stop
+  // phase effects (buffer marks, playback, gates, journalled deltas) are
+  // unobservable — nothing reads them after the stop, matching the
+  // mark-wave precedent for post-stop buffer writes.
+  for (; ev < book_merged_.size(); ++ev) {
+    const BookEvent& e = book_merged_[ev];
+    if (e.kind == BookEvent::Kind::kFinish) peers_[e.peer].sw_finished() = false;
+    if (e.kind == BookEvent::Kind::kPrepared) peers_[e.peer].sw_prepared() = false;
   }
 }
 
@@ -801,7 +1101,22 @@ void Engine::push_to_neighbors(PeerNode& p, SegmentId id, double now) {
 void Engine::learn_boundaries(PeerNode& p, int up_to, double now) {
   if (up_to <= p.known_boundary()) return;
   p.known_boundary() = up_to;
-  if (availability_.enabled()) availability_.on_boundary(graph_, p.id, up_to);
+  if (availability_.enabled()) {
+    if (book_phase_) {
+      // Split book phase: boundary gossip writes *neighbour* views, which
+      // other lanes own — journal it like the gain/evict deltas (the
+      // learning peer's shard is this lane's shard).  boundary_max is
+      // max-monotone, so the deltas commute across the merge's row order,
+      // and no view is read before the next tick pre — after the merge.
+      const std::size_t row = (p.id % data_shards_) * data_shards_;
+      for (const net::NodeId nb : graph_.neighbors(p.id)) {
+        delta_journals_[row + nb % data_shards_].push_back(
+            {nb, static_cast<SegmentId>(up_to), ViewDelta::Kind::kBoundary});
+      }
+    } else {
+      availability_.on_boundary(graph_, p.id, up_to);
+    }
+  }
   if (p.is_source()) return;
   if (p.active_switch() >= 0 && up_to >= p.active_switch() && !p.gate_armed() &&
       p.playback.gate() == kNoSegment) {
@@ -863,8 +1178,14 @@ void Engine::advance_playback(PeerNode& p, double now) {
         if (end_switch >= 0) record_finish(p, end_switch, play_time);
         const int start_switch = timeline_.switch_ending_at(id - 1);
         if (start_switch >= 0 && p.tracked() && p.active_switch() == start_switch) {
-          SwitchMetrics& m = timeline_.metrics(start_switch);
-          m.s2_start_times.push_back(play_time - m.switch_time);
+          if (book_phase_) {
+            const std::size_t s = p.id % data_shards_;
+            book_events_[s].push_back({book_current_item_[s], BookEvent::Kind::kS2Start,
+                                       start_switch, p.id, play_time});
+          } else {
+            SwitchMetrics& m = timeline_.metrics(start_switch);
+            m.s2_start_times.push_back(play_time - m.switch_time);
+          }
         }
       });
 }
@@ -873,6 +1194,15 @@ void Engine::record_finish(PeerNode& p, int switch_index, double play_time) {
   if (p.sw_finished() || p.active_switch() != switch_index) return;
   p.sw_finished() = true;
   if (!p.tracked()) return;
+  if (book_phase_) {
+    // Split book phase: the flag transition is per-peer (this lane owns
+    // the peer); the metric push and the stop check are globally ordered —
+    // log them for the tail.
+    const std::size_t s = p.id % data_shards_;
+    book_events_[s].push_back(
+        {book_current_item_[s], BookEvent::Kind::kFinish, switch_index, p.id, play_time});
+    return;
+  }
   SwitchMetrics& m = timeline_.metrics(switch_index);
   m.finish_times.push_back(play_time - m.switch_time);
   ++m.finished_s1;
@@ -883,6 +1213,12 @@ void Engine::record_prepared(PeerNode& p, int switch_index, double now) {
   if (p.sw_prepared() || p.active_switch() != switch_index) return;
   p.sw_prepared() = true;
   if (!p.tracked()) return;
+  if (book_phase_) {
+    const std::size_t s = p.id % data_shards_;
+    book_events_[s].push_back(
+        {book_current_item_[s], BookEvent::Kind::kPrepared, switch_index, p.id, now});
+    return;
+  }
   SwitchMetrics& m = timeline_.metrics(switch_index);
   m.prepared_times.push_back(now - m.switch_time);
   ++m.prepared_s2;

@@ -28,6 +28,7 @@
 #include "sim/simulator.hpp"
 #include "stream/availability_index.hpp"
 #include "stream/cdn_assist.hpp"
+#include "stream/commit_colouring.hpp"
 #include "stream/bandwidth.hpp"
 #include "stream/metrics.hpp"
 #include "stream/peer_node.hpp"
@@ -160,6 +161,35 @@ struct EngineConfig {
   /// push_fresh_segments is on (push reads neighbour buffers and schedules
   /// transfers per delivery, which requires the inline pop order).
   bool parallel_delivery = true;
+  /// Parallel commit + book passes of the sharded core (parallel_shards > 0
+  /// only; default on, like parallel_delivery).  Closes the pipeline's last
+  /// sequential fractions:
+  ///   commit  members of a sweep wave whose plans touch disjoint supplier
+  ///           sets commute, so the wave builds a supplier-contention graph
+  ///           (contention set = the alive-neighbour set the staleness check
+  ///           reads), colours it with a layered greedy colouring — a
+  ///           member's colour exceeds every earlier conflicting member's,
+  ///           so class-by-class execution respects the sequential
+  ///           write/read order — and runs each colour class's tick_commit
+  ///           on ThreadPool lanes with deliveries staged per member;
+  ///           members whose speculation went stale mid-class drain through
+  ///           a sequential fixup queue (the replan path generalised), and a
+  ///           final member-order drain replays the staged delivery events
+  ///           and deferred counters so event sequence numbers match the
+  ///           sequential commit exactly;
+  ///   book    deliver_bookkeeping splits into a parallel per-target-shard
+  ///           phase (buffer marks, playback advance, per-peer counters and
+  ///           flags, journalled boundary/availability deltas) plus a short
+  ///           sequential tail that replays the batch's metric pushes and
+  ///           wire counters in global pop order via a stable per-batch sort
+  ///           of the logged events — restoring the exact metric-push and
+  ///           experiment-stop interleaving.
+  /// Pure mechanism like parallel_delivery: fixed-seed metrics are
+  /// bit-identical with the flag on or off at every shard count (enforced
+  /// by stream_determinism_test); only wall clock and the commit-wave
+  /// diagnostics (EngineStats::commit_colour_classes / conflict fixups /
+  /// parallel commits / books) change.
+  bool parallel_commit = true;
   /// kTokenBucket burst depth in segments (>= 1; 1 degenerates to
   /// kSharedFifo's serialised spacing).
   double token_bucket_burst = 4.0;
@@ -304,6 +334,23 @@ struct EngineStats {
   std::uint64_t delivery_batches = 0;
   std::uint64_t delta_journal_merges = 0;
   std::uint64_t superbatch_sweeps = 0;
+  /// Commit-wave diagnostics (parallel_shards > 0 with parallel_commit
+  /// only): colour classes executed across all commit waves, members
+  /// committed on parallel lanes, members that went stale mid-class and
+  /// drained through the sequential fixup queue (a subset of
+  /// replanned_ticks), and delivery batches drained through the split
+  /// book pass.
+  std::uint64_t commit_colour_classes = 0;
+  std::uint64_t commit_conflict_fixups = 0;
+  std::uint64_t parallel_commits = 0;
+  std::uint64_t parallel_books = 0;
+  /// Lane-arena telemetry (parallel_shards > 0): heap chunks the per-lane
+  /// plan arenas ever allocated, and the chunks allocated after the
+  /// warm-up window (the first 16 parallel sweeps) — the steady-state
+  /// count the zero-allocation claim is measured by (0 once the lanes are
+  /// warm; counter-verified in stream_determinism_test).
+  std::uint64_t arena_chunks = 0;
+  std::uint64_t arena_steady_chunks = 0;
   /// Flash-crowd joiners admitted (subset of `joins`).
   std::size_t flash_joins = 0;
   /// CDN-assist plane (cdn_assist only): patch segments / wire bytes the
@@ -407,6 +454,14 @@ class Engine {
     SegmentId head = kNoSegment;
     net::NodeId owner = 0;
   };
+  /// A delivery issued under the commit wave's stage mode: the capacity
+  /// commit and the jitter draw already happened on the lane; only the
+  /// simulator event is deferred, posted by the final member-order drain so
+  /// event sequence numbers match the sequential commit exactly.
+  struct StagedDelivery {
+    SegmentId id = kNoSegment;
+    double deliver_at = 0.0;
+  };
   /// One tick's speculative plan: the candidate build and the strategy's
   /// request list, computed in the parallel phase against the pre-sweep
   /// transfer plane, plus everything needed to commit (or roll back and
@@ -427,6 +482,29 @@ class Engine {
     std::vector<CandidateSegment> candidates;
     std::vector<ScheduledRequest> requests;
     std::uint64_t probes = 0;  ///< deferred EngineStats::availability_probes
+    // --- commit-wave state (config_.parallel_commit only) ---
+    /// Stage mode: tick_commit runs on a lane — deliveries are staged into
+    /// `staged`, every global counter/event side effect is deferred to the
+    /// wave's final drain, and a stale plan only raises `fixup` instead of
+    /// re-planning in place.
+    bool stage = false;
+    /// Set by a staged stale commit; the per-class fixup drain re-plans and
+    /// re-commits this member sequentially after the class barrier.
+    bool fixup = false;
+    /// Deferred EngineStats::requests_issued / requests_rejected (and the
+    /// per-request overhead charge rides on `issued`).
+    std::uint32_t issued = 0;
+    std::uint32_t rejected = 0;
+    /// dirty_supplier_ stamp this member's capacity commits write under
+    /// stage mode: wave base + 1 + member index — deterministic, and for
+    /// every `> stamp` staleness comparison equivalent to the sequential
+    /// ++capacity_commits_ value.
+    std::uint64_t commit_stamp = 0;
+    std::vector<StagedDelivery> staged;
+    /// Candidate-list arena of the lane that planned this member (null =
+    /// heap).  Fixup re-plans reuse it on the drain thread; lanes reset at
+    /// wave start only, so same-lane plans coexist until commit.
+    util::Arena* arena = nullptr;
   };
 
   void tick(PeerNode& p, double now);
@@ -462,7 +540,18 @@ class Engine {
   /// neighbours under delta_maps accounting (delta or periodic full map).
   void advert_availability(PeerNode& p, std::size_t receivers);
   void build_candidates(PeerNode& p, double now, const NeighborScan& scan, TickPlan& plan);
-  bool issue_one(PeerNode& p, SegmentId id, net::NodeId supplier, double now);
+  /// Issues one scheduled request.  Inline mode (plan.stage false) posts the
+  /// delivery event and bumps the global counters directly; stage mode
+  /// stages the delivery into the plan, stamps dirty_supplier_ with
+  /// plan.commit_stamp and defers the counters (see TickPlan).
+  bool issue_one(PeerNode& p, SegmentId id, net::NodeId supplier, double now, TickPlan& plan);
+  /// The commit wave (config_.parallel_commit): colours wave members
+  /// [base, base + count) of the sweep by supplier contention, runs each
+  /// colour class's tick_commit on pool lanes with per-class sequential
+  /// fixup drains, then replays staged deliveries, deferred counters and
+  /// CDN ticks in member order (see EngineConfig::parallel_commit).
+  void commit_wave(const std::vector<std::uint32_t>& members, std::size_t base,
+                   std::size_t count, std::size_t lanes, double now);
 
   // --- CDN assist (config_.cdn_assist) ---
   /// Runs after tick_commit: computes the controller's view of `p` (switch
@@ -513,12 +602,44 @@ class Engine {
   void emit_view_deltas(net::NodeId owner, SegmentId gained, SegmentId evicted,
                         std::size_t source_shard);
 
-  /// One journalled availability delta: apply gain/evict of `id` to
-  /// views_[view] (owned by shard view % data_shards_).
+  // --- split book pass (config_.parallel_commit with the delivery wave) ---
+  //
+  // deliver_bookkeeping splits into a parallel per-target-shard phase and a
+  // sequential tail.  The phase runs every per-peer effect (buffer mark,
+  // boundary learning with journalled deltas, switch progress, playback)
+  // with book_phase_ set, which reroutes the globally ordered side effects
+  // — metric pushes, wire counters, experiment completion — into per-shard
+  // BookEvent logs keyed by the batch item being drained.  The tail
+  // stable-sorts the logged events by item (within an item they are already
+  // in call order: one item's events land in one shard's log back to back)
+  // and replays them in global pop order, stopping at the completing item
+  // exactly like the inline pop loop, and un-setting the finished/prepared
+  // flags any post-stop phase work raised so the end-of-run censoring sees
+  // the inline state.
+  /// One deferred globally-ordered side effect of the book phase.
+  struct BookEvent {
+    enum class Kind : std::uint8_t { kFinish, kPrepared, kS2Start };
+    std::uint32_t item = 0;  ///< batch item (pop order) that produced it
+    Kind kind = Kind::kFinish;
+    int sw = 0;              ///< switch index
+    net::NodeId peer = 0;
+    double time = 0.0;       ///< playback/wall time to push (pre-offset)
+  };
+  /// The parallel phase + sequential tail drain of one delivery batch;
+  /// replaces the mark/book passes of on_delivery_batch when
+  /// parallel_commit is on.  `lanes` = pool lanes of the wave.
+  void book_split_drain(const sim::PooledBatchItem* items, std::size_t count,
+                        std::size_t lanes);
+
+  /// One journalled availability delta: apply a gain/evict of `id` — or,
+  /// under the split book pass, a boundary raise to `id` (the boundary
+  /// index rides in the id field; max-monotone, so boundary deltas commute
+  /// with everything) — to views_[view] (owned by shard view % data_shards_).
   struct ViewDelta {
+    enum class Kind : std::uint8_t { kGain, kEvict, kBoundary };
     net::NodeId view = 0;
     SegmentId id = kNoSegment;
-    bool evict = false;
+    Kind kind = Kind::kGain;
   };
   /// Per-delivery outcome of the mark pass.
   enum class MarkOutcome : std::uint8_t {
@@ -614,6 +735,35 @@ class Engine {
   /// deliver_segment availability routing: journal into the sequential
   /// book row instead of applying inline (set during the book pass).
   bool journal_deltas_ = false;
+
+  // --- commit wave + split book state (config_.parallel_commit) ---
+  /// One bump arena per pool lane for the plan wave's candidate lists
+  /// (parallel_shards > 0; replaces the parallel lanes' heap fallback).
+  /// All lanes reset on the caller thread at wave start — never mid-wave,
+  /// since a lane's earlier plans must survive to their commit.  Arena is
+  /// pinned (non-movable), hence the unique_ptr pool.
+  std::vector<std::unique_ptr<util::Arena>> lane_arenas_;
+  /// Layered supplier-contention colouring scratch, reused across waves.
+  CommitColouring colouring_;
+  /// Class-bucketed wave slots: class_slots_[colour] lists the wave slots
+  /// of that colour in member order (buckets keep capacity across waves).
+  std::vector<std::vector<std::uint32_t>> class_slots_;
+  /// Per-target-shard BookEvent logs of the split book pass (+1 spare row
+  /// unused; sized with shard_entries_) and the merged replay buffer.
+  std::vector<std::vector<BookEvent>> book_events_;
+  std::vector<BookEvent> book_merged_;
+  /// book_current_item_[shard] = pop-order index of the item that shard's
+  /// lane is draining (written by the owning lane before each item's phase
+  /// work; read by the logging hooks on the same lane).
+  std::vector<std::uint32_t> book_current_item_;
+  /// Reroutes record_finish / record_prepared / the s2-start push into the
+  /// BookEvent logs (set only for the duration of the parallel book phase).
+  bool book_phase_ = false;
+  /// Total lane-arena chunk allocations at the end of the warm-up window
+  /// (the 16th parallel sweep); EngineStats::arena_steady_chunks measures
+  /// growth past this point.
+  std::uint64_t arena_warm_chunks_ = 0;
+  bool arena_warm_marked_ = false;
 
   std::vector<DebugPoint> debug_series_;
   std::unique_ptr<sim::PeriodicTask> debug_task_;

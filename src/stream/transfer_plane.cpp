@@ -199,8 +199,9 @@ double TransferPlane::queue_delay(net::NodeId requester, net::NodeId supplier,
   return std::max(0.0, capacity_->backlog_end(requester, supplier) - now);
 }
 
-bool TransferPlane::request(PeerNode& requester, const PeerNode& supplier, SegmentId id,
-                            double now) {
+bool TransferPlane::request_staged(PeerNode& requester, const PeerNode& supplier, SegmentId id,
+                                   double now, double& deliver_at) {
+  (void)id;  // the payload rides with schedule_delivery
   GS_CHECK_LT(supplier.id, uplink_busy_until_.size());
   const double start = std::max(now, capacity_->backlog_end(requester.id, supplier.id));
   if (start - now > accept_horizon_) {
@@ -209,9 +210,22 @@ bool TransferPlane::request(PeerNode& requester, const PeerNode& supplier, Segme
   }
   const double tx = 1.0 / supplier.outbound_rate();
   capacity_->commit(requester.id, supplier.id, start, start + tx);
-  const double deliver_at =
-      start + tx + latency_.jittered_delay_s(requester.id, supplier.id, requester.rng);
-  sim_.after(deliver_at - now, *this, requester.id, static_cast<std::uint64_t>(id));
+  // The jitter draw comes from the requester's own rng — member-local, so a
+  // staged issue draws exactly what the inline issue would.
+  deliver_at = start + tx + latency_.jittered_delay_s(requester.id, supplier.id, requester.rng);
+  return true;
+}
+
+void TransferPlane::schedule_delivery(net::NodeId to, SegmentId id, double deliver_at,
+                                      double now) {
+  sim_.after(deliver_at - now, *this, to, static_cast<std::uint64_t>(id));
+}
+
+bool TransferPlane::request(PeerNode& requester, const PeerNode& supplier, SegmentId id,
+                            double now) {
+  double deliver_at = 0.0;
+  if (!request_staged(requester, supplier, id, now, deliver_at)) return false;
+  schedule_delivery(requester.id, id, deliver_at, now);
   return true;
 }
 

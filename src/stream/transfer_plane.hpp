@@ -128,6 +128,23 @@ class TransferPlane final : public sim::EventSink {
   /// after transmission plus jittered link latency.
   bool request(PeerNode& requester, const PeerNode& supplier, SegmentId id, double now);
 
+  /// The capacity half of request(): acceptance test, capacity commit and
+  /// the jittered delivery time — everything except posting the simulator
+  /// event.  The parallel commit wave issues through this from concurrent
+  /// lanes (same-colour members touch disjoint supplier state by
+  /// construction) and stages (id, deliver_at) per member, then replays
+  /// schedule_delivery in member order so event sequence numbers — and with
+  /// them the global pop order — match the sequential commit exactly.
+  /// Returns false (committing nothing, drawing no rng) on a backlog past
+  /// the accept horizon.
+  bool request_staged(PeerNode& requester, const PeerNode& supplier, SegmentId id, double now,
+                      double& deliver_at);
+
+  /// Posts the delivery event of an accepted staged request.  Must be
+  /// called from the simulator thread (the sequential drain), in the order
+  /// the sequential commit would have called sim_.after.
+  void schedule_delivery(net::NodeId to, SegmentId id, double deliver_at, double now);
+
   /// Submits an unsolicited push of `id` from `from` to `to` on the
   /// pusher's own real uplink: the uplink FIFO under kSharedFifo/kPerLink
   /// (per-link pulls deliberately bypass it), the shared token ledger

@@ -27,6 +27,7 @@ void* Arena::allocate(std::size_t bytes, std::size_t alignment) {
     const std::size_t grown = chunk_bytes_ << std::min<std::size_t>(chunks_.size(), 10);
     const std::size_t size = std::max(bytes + alignment, grown);
     chunks_.push_back(Chunk{std::make_unique<std::byte[]>(size), size});
+    ++chunk_allocs_;
   }
 }
 

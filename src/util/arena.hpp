@@ -45,6 +45,10 @@ class Arena {
 
   /// Bytes handed out since the last reset (including alignment padding).
   [[nodiscard]] std::size_t allocated_bytes() const noexcept { return allocated_; }
+  /// Heap chunks ever allocated (never reset): a warm arena's steady state
+  /// stops growing this, which is how the engine proves its zero-allocation
+  /// claim for the parallel lanes (EngineStats::arena_steady_chunks).
+  [[nodiscard]] std::uint64_t chunk_allocations() const noexcept { return chunk_allocs_; }
   /// Heap bytes held across resets.
   [[nodiscard]] std::size_t capacity_bytes() const noexcept {
     std::size_t total = 0;
@@ -63,6 +67,7 @@ class Arena {
   std::size_t current_ = 0;  ///< chunk being bumped
   std::size_t offset_ = 0;   ///< bump position within it
   std::size_t allocated_ = 0;
+  std::uint64_t chunk_allocs_ = 0;
 };
 
 /// std-conforming allocator over an Arena; nullptr arena = plain heap.

@@ -132,6 +132,62 @@ void ThreadPool::run_batch(std::size_t n, std::size_t lanes,
   if (state->failed.load() && state->error) std::rethrow_exception(state->error);
 }
 
+void ThreadPool::run_batch_lanes(std::size_t n, std::size_t lanes,
+                                 const std::function<void(std::size_t, std::size_t)>& body) {
+  if (n == 0) return;
+  if (lanes <= 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i, 0);
+    return;
+  }
+  struct BatchState {
+    explicit BatchState(std::size_t count) : done(static_cast<std::ptrdiff_t>(count)) {}
+    std::atomic<std::size_t> cursor{0};
+    std::atomic<std::size_t> next_lane{1};  ///< the caller owns lane 0
+    std::latch done;
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;
+    std::mutex error_mutex;
+  };
+  auto state = std::make_shared<BatchState>(n);
+  const std::function<void(std::size_t, std::size_t)>* body_ptr = &body;
+  // Helpers claim a dense lane id on entry; at most `lanes` executors exist
+  // (caller + helpers, see the cap below), so ids stay within [0, lanes).
+  const auto claim_loop = [n, state, body_ptr](std::size_t lane) {
+    for (;;) {
+      const std::size_t i = state->cursor.fetch_add(1);
+      if (i >= n) return;
+      try {
+        (*body_ptr)(i, lane);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state->error_mutex);
+        if (!state->failed.exchange(true)) state->error = std::current_exception();
+      }
+      state->done.count_down();
+    }
+  };
+  const std::size_t helper_cap = 2 * thread_count();
+  const std::size_t backlog = queued_helpers_.load();
+  std::size_t helpers = std::min(lanes, n) - 1;
+  helpers = std::min(helpers, helper_cap > backlog ? helper_cap - backlog : 0);
+  // Unlike run_batch, the lane-id space bounds the executor count, so the
+  // helper count may never exceed lanes - 1 even if the cap would allow it.
+  helpers = std::min(helpers, lanes - 1);
+  if (helpers > 0) {
+    queued_helpers_.fetch_add(helpers);
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t h = 0; h < helpers; ++h) {
+      tasks_.emplace([this, state, claim_loop] {
+        queued_helpers_.fetch_sub(1);
+        claim_loop(state->next_lane.fetch_add(1));
+      });
+    }
+  }
+  if (helpers > 0) cv_.notify_all();
+  claim_loop(0);         // the caller is lane 0: no deadlock on a busy pool
+  state->done.wait();    // indices claimed by helpers may still be running
+  if (state->failed.load() && state->error) std::rethrow_exception(state->error);
+}
+
 ThreadPool& global_pool() {
   static ThreadPool pool;
   return pool;

@@ -66,6 +66,15 @@ class ThreadPool {
   /// Exceptions from any iteration are rethrown in the caller (first wins).
   void run_batch(std::size_t n, std::size_t lanes, const std::function<void(std::size_t)>& body);
 
+  /// Lane-identified variant of run_batch: body(i, lane) where `lane` is a
+  /// dense id in [0, lanes) stable for the executing thread across the whole
+  /// batch (the caller claims lane 0; each helper claims the next free id on
+  /// entry).  Callers use it to index per-lane scratch — e.g. one bump arena
+  /// per lane — without thread-local state.  Same progress/exception
+  /// semantics as run_batch.
+  void run_batch_lanes(std::size_t n, std::size_t lanes,
+                       const std::function<void(std::size_t, std::size_t)>& body);
+
  private:
   void worker_loop();
 

@@ -13,6 +13,7 @@
 #include "core/fast_switch.hpp"
 #include "core/normal_switch.hpp"
 #include "net/topology.hpp"
+#include "stream/commit_colouring.hpp"
 #include "stream/engine.hpp"
 
 namespace gs::stream {
@@ -37,6 +38,9 @@ struct RunSpec {
   /// The parallel delivery wave + sweep super-batching of the sharded core
   /// (effective only when parallel > 0; defaults on, like the engine).
   bool delivery_wave = true;
+  /// The parallel commit + book passes of the sharded core (effective only
+  /// when parallel > 0; defaults on, like the engine).
+  bool commit = true;
   /// Million-peer memory plane: flat pending/buffer/arrival containers and
   /// the sequential plan arena.
   bool peer_pool = false;
@@ -73,6 +77,7 @@ RunOutput run_setup(const RunSpec& setup) {
   config.delta_maps = setup.delta_maps;
   config.windowed_availability = setup.windowed;
   config.parallel_delivery = setup.delivery_wave;
+  config.parallel_commit = setup.commit;
   config.peer_pool = setup.peer_pool;
   config.flash_crowd_joins = setup.flash_joins;
   config.cdn_assist = setup.cdn;
@@ -924,6 +929,209 @@ TEST(CdnAssist, AssistActuallyServes) {
   const RunOutput baseline = run_setup(setup);
   EXPECT_EQ(baseline.stats.cdn_segments_served, 0u);
   EXPECT_EQ(baseline.stats.cdn_assisted_switches, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Parallel commit + book passes.  The commit wave colours each sweep wave by
+// supplier contention and runs the colour classes on pool lanes; the book
+// pass splits delivery bookkeeping into a parallel per-target phase plus a
+// sequential tail that replays the global pop order.  Both are pure
+// mechanism: fixed-seed metrics must match the member-order commit loop bit
+// for bit at every shard count and composed with every other flag.  Only
+// wall clock and the commit diagnostics (commit_colour_classes /
+// commit_conflict_fixups / parallel_commits / parallel_books) may change.
+
+RunOutput run_commit(RunSpec setup, std::size_t shards, bool commit = true) {
+  setup.parallel = shards;
+  setup.commit = commit;
+  return run_setup(setup);
+}
+
+TEST(ParallelCommit, EveryShardCountMatchesSequentialCommitOnAndOff) {
+  RunSpec setup;
+  const RunOutput sequential = run_setup(setup);
+  for (const std::size_t shards : {0u, 1u, 4u, 7u}) {
+    expect_identical(sequential, run_commit(setup, shards, /*commit=*/true));
+    expect_identical(sequential, run_commit(setup, shards, /*commit=*/false));
+  }
+}
+
+TEST(ParallelCommit, NormalSwitchMatchesSequential) {
+  RunSpec setup;
+  setup.fast = false;
+  expect_identical(run_setup(setup), run_commit(setup, 4));
+}
+
+TEST(ParallelCommit, ChurnMatchesSequential) {
+  // Churn exercises fixups against vanished suppliers, dead deliveries in
+  // the book phase and view teardown between waves.
+  RunSpec setup;
+  setup.seed = 19;
+  setup.churn = true;
+  expect_identical(run_setup(setup), run_commit(setup, 4));
+  expect_identical(run_setup(setup), run_commit(setup, 4, /*commit=*/false));
+}
+
+TEST(ParallelCommit, PerLinkCapacityMatchesSequential) {
+  // Per-link capacity has no shared-supplier contention: every wave is one
+  // colour class and no fixups can fire.
+  RunSpec setup;
+  setup.seed = 27;
+  setup.per_link = true;
+  expect_identical(run_setup(setup), run_commit(setup, 4));
+}
+
+TEST(ParallelCommit, TokenBucketCapacityMatchesSequential) {
+  RunSpec setup;
+  setup.seed = 29;
+  setup.token_bucket = true;
+  expect_identical(run_setup(setup), run_commit(setup, 4));
+}
+
+TEST(ParallelCommit, MultiSwitchMatchesSequential) {
+  RunSpec setup;
+  setup.seed = 23;
+  setup.sources = {0, 1, 2};
+  setup.switch_times = {0.0, 60.0};
+  expect_identical(run_setup(setup), run_commit(setup, 4));
+}
+
+TEST(ParallelCommit, BatchIncrementalWindowedComposes) {
+  RunSpec setup;
+  setup.seed = 43;
+  RunSpec stacked = setup;
+  stacked.batch = true;
+  stacked.windowed = true;
+  expect_identical(run_setup(setup), run_commit(stacked, 4));
+  expect_identical(run_setup(setup), run_commit(stacked, 7));
+}
+
+TEST(ParallelCommit, PeerPoolComposes) {
+  RunSpec setup;
+  setup.seed = 47;
+  RunSpec pooled = setup;
+  pooled.peer_pool = true;
+  expect_identical(run_setup(setup), run_commit(pooled, 4));
+  expect_identical(run_setup(setup), run_commit(pooled, 4, /*commit=*/false));
+}
+
+TEST(ParallelCommit, CdnAssistComposes) {
+  // The final drain interleaves cdn_assist_tick in member order; assisted
+  // runs must not notice whether commits were staged or inline.
+  RunSpec setup;
+  setup.seed = 97;
+  setup.cdn = true;
+  const RunOutput sequential = run_setup(setup);
+  expect_identical(sequential, run_commit(setup, 4));
+  expect_identical(sequential, run_commit(setup, 4, /*commit=*/false));
+}
+
+TEST(ParallelCommit, FlashCrowdComposes) {
+  RunSpec setup;
+  setup.seed = 53;
+  setup.flash_joins = 40;
+  const RunOutput sequential = run_setup(setup);
+  expect_identical(sequential, run_commit(setup, 4));
+  expect_identical(sequential, run_commit(setup, 4, /*commit=*/false));
+}
+
+TEST(ParallelCommit, LockstepChurnMatchesSequential) {
+  // Lockstep phases force the super-batched sweep: the commit wave runs over
+  // concatenated groups with the largest wave counts.
+  RunSpec setup;
+  setup.seed = 37;
+  setup.stagger = false;
+  setup.churn = true;
+  expect_identical(run_setup(setup), run_commit(setup, 4));
+  expect_identical(run_setup(setup), run_commit(setup, 1));
+}
+
+TEST(ParallelCommit, CommitRunsReproduceThemselves) {
+  RunSpec setup;
+  setup.seed = 61;
+  setup.parallel = 7;
+  setup.churn = true;
+  setup.incremental = true;
+  expect_identical(run_setup(setup), run_setup(setup));
+}
+
+TEST(ParallelCommit, CommitDiagnosticsReportWork) {
+  RunSpec setup;
+  setup.seed = 31;
+  setup.incremental = true;
+  const RunOutput sequential = run_setup(setup);
+  const RunOutput waved = run_commit(setup, 4);
+  const RunOutput unwaved = run_commit(setup, 4, /*commit=*/false);
+  EXPECT_EQ(sequential.stats.parallel_commits, 0u);
+  EXPECT_EQ(sequential.stats.commit_colour_classes, 0u);
+  EXPECT_EQ(sequential.stats.parallel_books, 0u);
+  EXPECT_EQ(unwaved.stats.parallel_commits, 0u);
+  EXPECT_EQ(unwaved.stats.commit_colour_classes, 0u);
+  EXPECT_EQ(unwaved.stats.parallel_books, 0u);
+  EXPECT_GT(waved.stats.parallel_commits, 0u);
+  EXPECT_GT(waved.stats.commit_colour_classes, 0u);
+  EXPECT_GT(waved.stats.parallel_books, 0u);
+}
+
+TEST(ParallelCommit, LayeredColouringIsValid) {
+  // Property check on the colouring itself: (a) every colour is below the
+  // class count, (b) slots without a contention set stay in class 0, and
+  // (c) any two conflicting slots i < j satisfy colour(i) < colour(j) — the
+  // layered rule's order guarantee, strictly stronger than "different
+  // colours", which is what lets class-by-class execution replay the
+  // sequential commit order.
+  util::Rng rng(12345);
+  CommitColouring colouring;
+  for (int round = 0; round < 50; ++round) {
+    const auto nodes = static_cast<std::size_t>(rng.uniform_int(1, 40));
+    const auto count = static_cast<std::size_t>(rng.uniform_int(0, 64));
+    std::vector<std::vector<net::NodeId>> sets(count);
+    std::vector<bool> null_set(count);
+    for (std::size_t j = 0; j < count; ++j) {
+      null_set[j] = rng.uniform() < 0.2;  // mirrors non-planned / empty slots
+      const auto degree = static_cast<std::size_t>(rng.uniform_int(0, 6));
+      for (std::size_t d = 0; d < degree; ++d) {
+        sets[j].push_back(static_cast<net::NodeId>(
+            rng.uniform_int(0, static_cast<std::int64_t>(nodes) - 1)));
+      }
+    }
+    colouring.colour_wave(count, nodes,
+                          [&](std::size_t j) -> const std::vector<net::NodeId>* {
+                            return null_set[j] ? nullptr : &sets[j];
+                          });
+    for (std::size_t j = 0; j < count; ++j) {
+      EXPECT_LT(colouring.colour[j], colouring.classes);
+      if (null_set[j]) {
+        EXPECT_EQ(colouring.colour[j], 0u);
+        continue;
+      }
+      for (std::size_t i = 0; i < j; ++i) {
+        if (null_set[i]) continue;
+        bool conflict = false;
+        for (const net::NodeId a : sets[i]) {
+          for (const net::NodeId b : sets[j]) conflict = conflict || a == b;
+        }
+        if (conflict) {
+          EXPECT_LT(colouring.colour[i], colouring.colour[j]);
+        }
+      }
+    }
+  }
+}
+
+TEST(ParallelCommit, SteadyStateArenaAllocationsAreZero) {
+  // The per-lane arena pool must reach a zero-allocation steady state: after
+  // the warm-up fence (16 parallel sweeps) no arena chunk may ever be
+  // malloc'd again.  arena_chunks counts cumulative chunk allocations across
+  // all lanes; arena_steady_chunks is the post-fence remainder.
+  RunSpec setup;
+  setup.seed = 67;
+  setup.parallel = 4;
+  const RunOutput out = run_setup(setup);
+  EXPECT_GT(out.stats.parallel_sweeps, 16u) << "run too short to pass the warm-up fence";
+  EXPECT_GT(out.stats.arena_chunks, 0u) << "lane arenas should be in use";
+  EXPECT_EQ(out.stats.arena_steady_chunks, 0u)
+      << "heap allocation after the warm-up fence breaks the zero-alloc steady state";
 }
 
 TEST(Determinism, DifferentSeedsProduceDifferentRuns) {
