@@ -36,6 +36,7 @@ struct BenchOptions {
   /// to exercise sweep granularity (and super-batching under lockstep)
   /// without recompiling.
   std::size_t tick_shard_size = 0;
+  bool timing_wheel = true;
   std::string capacity_model = "shared-fifo";
   bool cdn_assist = false;
   double cdn_rate = 120.0;
@@ -58,6 +59,7 @@ struct BenchOptions {
       config.enable_flash_crowd(flash_crowd_joins, flash_crowd_start, flash_crowd_duration);
     }
     if (tick_shard_size > 0) config.engine.tick_shard_size = tick_shard_size;
+    config.enable_timing_wheel(timing_wheel);
     config.engine.supplier_capacity = exp::capacity_from_string(capacity_model);
     config.enable_cdn_assist(cdn_assist);
     config.engine.cdn_assist_rate = cdn_rate;
@@ -107,6 +109,9 @@ inline bool parse_bench_flags(int argc, char** argv, BenchOptions& options,
                       "seconds over which the crowd is admitted");
   flags.define_int("tick-shard-size", 0,
                    "peers per tick shard / sweep group (0 = engine default)");
+  flags.define_bool("timing-wheel", true,
+                    "timing-wheel event plane (identical metrics, O(1) "
+                    "schedule; --timing-wheel=false for the heap baseline)");
   flags.define("capacity-model", "shared-fifo",
                "supplier capacity model: shared-fifo|per-link|token-bucket");
   flags.define_bool("cdn-assist", false,
@@ -136,6 +141,7 @@ inline bool parse_bench_flags(int argc, char** argv, BenchOptions& options,
   options.flash_crowd_start = flags.get_double("flash-crowd-start");
   options.flash_crowd_duration = flags.get_double("flash-crowd-duration");
   options.tick_shard_size = static_cast<std::size_t>(flags.get_int("tick-shard-size"));
+  options.timing_wheel = flags.get_bool("timing-wheel");
   options.capacity_model = flags.get("capacity-model");
   options.cdn_assist = flags.get_bool("cdn-assist");
   options.cdn_rate = flags.get_double("cdn-rate");

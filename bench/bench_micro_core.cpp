@@ -4,6 +4,7 @@
 // comparing per-peer and batched tick dispatch.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "core/fast_switch.hpp"
@@ -140,9 +141,14 @@ void BM_StreamBufferInsert(benchmark::State& state) {
 }
 BENCHMARK(BM_StreamBufferInsert);
 
+// Closure events, heap (wheel=0) vs timing-wheel (wheel=1) backend on the
+// same workload: the row pair isolates the O(log n) sift vs O(1) bucket
+// append schedule cost (pop order is identical by contract).
 void BM_EventQueueScheduleRun(benchmark::State& state) {
+  const bool wheel = state.range(1) != 0;
   for (auto _ : state) {
     gs::sim::EventQueue queue;
+    if (wheel) queue.enable_timing_wheel(1.0);
     int sink = 0;
     for (int i = 0; i < state.range(0); ++i) {
       queue.schedule(static_cast<double>((i * 7919) % 1000), [&sink] { ++sink; });
@@ -152,7 +158,12 @@ void BM_EventQueueScheduleRun(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
-BENCHMARK(BM_EventQueueScheduleRun)->Arg(1000)->Arg(10000);
+BENCHMARK(BM_EventQueueScheduleRun)
+    ->ArgNames({"events", "wheel"})
+    ->Args({1000, 0})
+    ->Args({1000, 1})
+    ->Args({10000, 0})
+    ->Args({10000, 1});
 
 /// Pooled plain-struct events on the same workload as the closure variant
 /// above: the delta is the per-event std::function allocation.
@@ -162,8 +173,10 @@ struct CountingSink final : gs::sim::EventSink {
 };
 
 void BM_EventQueuePooledScheduleRun(benchmark::State& state) {
+  const bool wheel = state.range(1) != 0;
   for (auto _ : state) {
     gs::sim::EventQueue queue;
+    if (wheel) queue.enable_timing_wheel(1.0);
     CountingSink sink;
     for (int i = 0; i < state.range(0); ++i) {
       queue.schedule(static_cast<double>((i * 7919) % 1000), sink,
@@ -174,7 +187,12 @@ void BM_EventQueuePooledScheduleRun(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
-BENCHMARK(BM_EventQueuePooledScheduleRun)->Arg(1000)->Arg(10000);
+BENCHMARK(BM_EventQueuePooledScheduleRun)
+    ->ArgNames({"events", "wheel"})
+    ->Args({1000, 0})
+    ->Args({1000, 1})
+    ->Args({10000, 0})
+    ->Args({10000, 1});
 
 // Engine dispatch cost: a full (trimmed-horizon) switch experiment per
 // iteration, per-peer vs batched tick dispatch.  The two rows of a size are
@@ -383,6 +401,7 @@ void BM_FullPipeline(benchmark::State& state) {
   const auto nodes = static_cast<std::size_t>(state.range(0));
   const auto shards = static_cast<std::size_t>(state.range(1));
   const bool commit = state.range(2) != 0;
+  const bool wheel = state.range(3) != 0;
   std::uint64_t delivered = 0;
   std::uint64_t events = 0;
   double bytes_per_peer = 0.0;
@@ -391,6 +410,9 @@ void BM_FullPipeline(benchmark::State& state) {
   std::uint64_t commits = 0;
   std::uint64_t books = 0;
   std::uint64_t steady_chunks = 0;
+  std::uint64_t wheeled = 0;
+  std::uint64_t promotions = 0;
+  std::uint64_t spill_peak = 0;
   std::uint64_t runs = 0;
   for (auto _ : state) {
     state.PauseTiming();
@@ -402,6 +424,7 @@ void BM_FullPipeline(benchmark::State& state) {
     config.enable_parallel_shards(shards);
     config.enable_parallel_commit(commit);
     config.enable_peer_pool(true);
+    config.enable_timing_wheel(wheel);
     config.engine.tick_shard_size = 256;   // the scale grain (see README)
     config.engine.horizon = 5.0;           // pipeline cost, not paper metrics
     config.engine.history_seconds = 20.0;
@@ -416,6 +439,9 @@ void BM_FullPipeline(benchmark::State& state) {
     commits += engine->stats().parallel_commits;
     books += engine->stats().parallel_books;
     steady_chunks += engine->stats().arena_steady_chunks;
+    wheeled += engine->stats().events_wheeled;
+    promotions += engine->stats().wheel_overflow_promotions;
+    spill_peak = std::max(spill_peak, engine->stats().spill_heap_peak);
     ++runs;
   }
   state.counters["delivered"] =
@@ -434,12 +460,19 @@ void BM_FullPipeline(benchmark::State& state) {
       benchmark::Counter(static_cast<double>(books) / static_cast<double>(runs));
   state.counters["arena_steady_chunks"] =
       benchmark::Counter(static_cast<double>(steady_chunks) / static_cast<double>(runs));
+  state.counters["events_wheeled"] =
+      benchmark::Counter(static_cast<double>(wheeled) / static_cast<double>(runs));
+  state.counters["wheel_overflow_promotions"] =
+      benchmark::Counter(static_cast<double>(promotions) / static_cast<double>(runs));
+  state.counters["spill_heap_peak"] = benchmark::Counter(static_cast<double>(spill_peak));
 }
 BENCHMARK(BM_FullPipeline)
-    ->ArgNames({"peers", "shards", "commit"})
-    ->Args({100000, 0, 1})
-    ->Args({100000, 4, 0})
-    ->Args({100000, 4, 1})
+    ->ArgNames({"peers", "shards", "commit", "wheel"})
+    ->Args({100000, 0, 1, 0})
+    ->Args({100000, 0, 1, 1})
+    ->Args({100000, 4, 0, 1})
+    ->Args({100000, 4, 1, 0})
+    ->Args({100000, 4, 1, 1})
     ->Unit(benchmark::kMillisecond);
 
 // Million-peer memory smoke: one trimmed-dynamics switch experiment at
@@ -455,9 +488,11 @@ BENCHMARK(BM_FullPipeline)
 void BM_MillionPeer(benchmark::State& state) {
   const auto nodes = static_cast<std::size_t>(state.range(0));
   const bool pool = state.range(1) != 0;
+  const bool wheel = state.range(2) != 0;
   std::uint64_t delivered = 0;
   double bytes_per_peer = 0.0;
   double peak_rss = 0.0;
+  std::uint64_t wheeled = 0;
   std::uint64_t runs = 0;
   for (auto _ : state) {
     state.PauseTiming();
@@ -467,6 +502,7 @@ void BM_MillionPeer(benchmark::State& state) {
     config.enable_incremental_availability(true);
     config.enable_windowed_availability(true);
     config.enable_peer_pool(pool);
+    config.enable_timing_wheel(wheel);
     config.engine.tick_shard_size = 1024;  // wide sweeps; dispatch is not the point
     config.engine.horizon = 2.0;           // memory smoke, not paper metrics
     config.engine.history_seconds = 10.0;
@@ -476,6 +512,7 @@ void BM_MillionPeer(benchmark::State& state) {
     delivered += engine->stats().segments_delivered;
     bytes_per_peer += engine->stats().bytes_per_peer;
     peak_rss += static_cast<double>(engine->stats().peak_rss_bytes);
+    wheeled += engine->stats().events_wheeled;
     ++runs;
   }
   state.counters["delivered"] =
@@ -484,11 +521,14 @@ void BM_MillionPeer(benchmark::State& state) {
       benchmark::Counter(bytes_per_peer / static_cast<double>(runs));
   state.counters["peak_rss_mb"] =
       benchmark::Counter(peak_rss / static_cast<double>(runs) / (1024.0 * 1024.0));
+  state.counters["events_wheeled"] =
+      benchmark::Counter(static_cast<double>(wheeled) / static_cast<double>(runs));
 }
 BENCHMARK(BM_MillionPeer)
-    ->ArgNames({"peers", "pool"})
-    ->Args({1000000, 0})
-    ->Args({1000000, 1})
+    ->ArgNames({"peers", "pool", "wheel"})
+    ->Args({1000000, 0, 1})
+    ->Args({1000000, 1, 0})
+    ->Args({1000000, 1, 1})
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 

@@ -55,6 +55,9 @@ int main(int argc, char** argv) {
                       "token-bucket burst depth in segments (>= 1)");
   flags.define_bool("batch-dispatch", false,
                     "batched tick dispatch (identical metrics, fewer simulator events)");
+  flags.define_bool("timing-wheel", true,
+                    "timing-wheel event plane (identical metrics, O(1) schedule; "
+                    "--timing-wheel=false for the binary-heap baseline)");
   flags.define_bool("incremental-availability", false,
                     "delta-maintained availability views (identical metrics, less scan work)");
   flags.define_bool("delta-maps", false,
@@ -122,6 +125,7 @@ int main(int argc, char** argv) {
   base.engine.supplier_capacity = gs::exp::capacity_from_string(flags.get("capacity-model"));
   base.engine.token_bucket_burst = flags.get_double("token-bucket-burst");
   base.enable_batch_dispatch(flags.get_bool("batch-dispatch"));
+  base.enable_timing_wheel(flags.get_bool("timing-wheel"));
   base.enable_incremental_availability(
       flags.get_bool("incremental-availability") || flags.get_bool("delta-maps"),
       flags.get_bool("delta-maps"));
@@ -156,12 +160,12 @@ int main(int argc, char** argv) {
 
   if (flags.get_bool("print-diagnostics")) {
     std::printf("\nengine diagnostics (one fast-algorithm trial per size)\n");
-    std::printf("%8s %12s %12s %10s %9s %9s %11s %10s %12s %11s %10s %8s %10s %9s %9s %8s "
-                "%8s %11s %9s\n",
-                "peers", "events", "probes", "idx_upd", "sweeps", "replan", "cross_shard",
-                "dlv_batch", "journal_mrg", "superbatch", "colour_cls", "fixups",
-                "par_commit", "par_book", "flash", "cdn_mb", "assisted", "bytes/peer",
-                "rss_mb");
+    std::printf("%8s %12s %12s %12s %9s %9s %10s %9s %9s %11s %10s %12s %11s %10s %8s %10s "
+                "%9s %9s %8s %8s %11s %9s\n",
+                "peers", "events", "wheeled", "probes", "promo", "spill_pk", "idx_upd",
+                "sweeps", "replan", "cross_shard", "dlv_batch", "journal_mrg", "superbatch",
+                "colour_cls", "fixups", "par_commit", "par_book", "flash", "cdn_mb",
+                "assisted", "bytes/peer", "rss_mb");
     for (const std::size_t n : sizes) {
       gs::exp::Config config = base;
       config.node_count = n;
@@ -184,10 +188,13 @@ int main(int argc, char** argv) {
         std::snprintf(rss_mb, sizeof(rss_mb), "n/a");
       }
       std::printf(
-          "%8zu %12llu %12llu %10llu %9llu %9llu %11llu %10llu %12llu %11llu %10llu %8llu "
-          "%10llu %9llu %9zu %8.1f %8zu %11s %9s\n",
+          "%8zu %12llu %12llu %12llu %9llu %9llu %10llu %9llu %9llu %11llu %10llu %12llu "
+          "%11llu %10llu %8llu %10llu %9llu %9zu %8.1f %8zu %11s %9s\n",
           n, static_cast<unsigned long long>(s.events_popped),
+          static_cast<unsigned long long>(s.events_wheeled),
           static_cast<unsigned long long>(s.availability_probes),
+          static_cast<unsigned long long>(s.wheel_overflow_promotions),
+          static_cast<unsigned long long>(s.spill_heap_peak),
           static_cast<unsigned long long>(s.index_updates),
           static_cast<unsigned long long>(s.parallel_sweeps),
           static_cast<unsigned long long>(s.replanned_ticks),

@@ -62,6 +62,13 @@ struct Config {
   /// bit-identical either way — only simulator event counts drop.
   void enable_batch_dispatch(bool on = true) { engine.batch_dispatch = on; }
 
+  /// Selects the timing-wheel event plane (`--timing-wheel`; on by
+  /// default, pass false for the binary-heap baseline).  Pure mechanism:
+  /// pop order is bit-identical on either backend, so fixed-seed metrics
+  /// never change; only schedule/pop cost and the wheel telemetry
+  /// (EngineStats::events_wheeled and friends) do.
+  void enable_timing_wheel(bool on = true) { engine.timing_wheel = on; }
+
   /// Turns on the incremental availability plane
   /// (`--incremental-availability`).  Like batch dispatch this is pure
   /// mechanism: fixed-seed metrics are bit-identical either way; only the

@@ -10,16 +10,41 @@ void EventQueue::set_shard_count(std::size_t shards) {
   GS_CHECK_GE(shards, 1u);
   GS_CHECK(empty()) << "shard layout may only change while the queue is empty";
   heaps_.assign(shards, {});
+  if (wheel_on_) wheels_.assign(shards, TimingWheel(wheel_quantum_));
   cached_top_ = kNoShard;
 }
 
+void EventQueue::enable_timing_wheel(double quantum) {
+  GS_CHECK_GT(quantum, 0.0);
+  GS_CHECK(empty()) << "the backing store may only change while the queue is empty";
+  wheel_on_ = true;
+  wheel_quantum_ = quantum;
+  wheels_.assign(heaps_.size(), TimingWheel(quantum));
+  cached_top_ = kNoShard;
+}
+
+EventQueue::WheelTelemetry EventQueue::wheel_telemetry() const noexcept {
+  WheelTelemetry out;
+  for (const TimingWheel& wheel : wheels_) {
+    const TimingWheel::Telemetry& t = wheel.telemetry();
+    out.scheduled += t.scheduled;
+    out.overflow_promotions += t.overflow_promotions;
+    out.spill_peak = std::max(out.spill_peak, t.spill_peak);
+  }
+  return out;
+}
+
 EventId EventQueue::push_entry(std::size_t shard, Entry entry) {
-  GS_CHECK_LT(shard, heaps_.size());
+  GS_CHECK_LT(shard, shard_count());
   entry.id = next_id_++;
   const EventId id = entry.id;
-  std::vector<Entry>& heap = heaps_[shard];
-  heap.push_back(std::move(entry));
-  std::push_heap(heap.begin(), heap.end(), Later{});
+  if (wheel_on_) {
+    wheels_[shard].push(std::move(entry));
+  } else {
+    std::vector<Entry>& heap = heaps_[shard];
+    heap.push_back(std::move(entry));
+    std::push_heap(heap.begin(), heap.end(), Later{});
+  }
   ++live_;
   cached_top_ = kNoShard;  // the new entry may beat the cached head
   return id;
@@ -58,12 +83,19 @@ bool EventQueue::cancel(EventId id) {
   const bool inserted = cancelled_.insert(id).second;
   if (!inserted) return false;
   // The id might belong to an event that already fired; verify it is still
-  // in a heap.  Linear scan is fine: cancels are rare (churn only).
+  // resident.  Linear scan is fine: cancels are rare (churn only).
   bool pending = false;
-  for (const std::vector<Entry>& heap : heaps_) {
-    pending = std::any_of(heap.begin(), heap.end(),
-                          [id](const Entry& e) { return e.id == id; });
-    if (pending) break;
+  if (wheel_on_) {
+    for (const TimingWheel& wheel : wheels_) {
+      pending = wheel.any([id](const Entry& e) { return e.id == id; });
+      if (pending) break;
+    }
+  } else {
+    for (const std::vector<Entry>& heap : heaps_) {
+      pending = std::any_of(heap.begin(), heap.end(),
+                            [id](const Entry& e) { return e.id == id; });
+      if (pending) break;
+    }
   }
   if (!pending) {
     cancelled_.erase(id);
@@ -79,14 +111,30 @@ bool EventQueue::empty() const noexcept { return live_ == 0; }
 
 std::size_t EventQueue::size() const noexcept { return live_; }
 
-void EventQueue::skip_cancelled(std::size_t shard) {
+bool EventQueue::shard_has(std::size_t shard) const {
+  return wheel_on_ ? !wheels_[shard].empty() : !heaps_[shard].empty();
+}
+
+const EventQueue::Entry& EventQueue::shard_head(std::size_t shard) {
+  if (wheel_on_) return wheels_[shard].top();
+  return heaps_[shard].front();
+}
+
+EventQueue::Entry EventQueue::shard_take(std::size_t shard) {
+  if (wheel_on_) return wheels_[shard].pop();
   std::vector<Entry>& heap = heaps_[shard];
-  while (!heap.empty()) {
-    const auto it = cancelled_.find(heap.front().id);
+  std::pop_heap(heap.begin(), heap.end(), Later{});
+  Entry entry = std::move(heap.back());
+  heap.pop_back();
+  return entry;
+}
+
+void EventQueue::skip_cancelled(std::size_t shard) {
+  while (shard_has(shard)) {
+    const auto it = cancelled_.find(shard_head(shard).id);
     if (it == cancelled_.end()) return;
     cancelled_.erase(it);
-    std::pop_heap(heap.begin(), heap.end(), Later{});
-    heap.pop_back();
+    shard_take(shard);
   }
 }
 
@@ -95,19 +143,19 @@ std::size_t EventQueue::top_shard() {
   // The deterministic cross-shard merge: among the live shard heads, the
   // (time, sequence) minimum is exactly the entry a single global queue
   // would pop next.  Linear scan — shard counts are small (cores, not
-  // peers) and the per-shard heaps already did the log-factor work.  The
+  // peers) and the per-shard stores already did the ordering work.  The
   // memo makes the run loop's next_time() + pop_and_run() pair pay for one
   // scan, not two.
-  std::size_t best = heaps_.size();
-  for (std::size_t shard = 0; shard < heaps_.size(); ++shard) {
+  const std::size_t shards = shard_count();
+  std::size_t best = shards;
+  for (std::size_t shard = 0; shard < shards; ++shard) {
     skip_cancelled(shard);
-    const std::vector<Entry>& heap = heaps_[shard];
-    if (heap.empty()) continue;
-    if (best == heaps_.size() || Later{}(heaps_[best].front(), heap.front())) {
+    if (!shard_has(shard)) continue;
+    if (best == shards || Later{}(shard_head(best), shard_head(shard))) {
       best = shard;
     }
   }
-  GS_CHECK_LT(best, heaps_.size());
+  GS_CHECK_LT(best, shards);
   cached_top_ = best;
   return best;
 }
@@ -117,17 +165,14 @@ Time EventQueue::next_time() const {
   // top_shard() is non-const (it drops cancelled heads), but observable
   // state is unchanged — logical constness via const_cast.
   auto* self = const_cast<EventQueue*>(this);
-  return self->heaps_[self->top_shard()].front().at;
+  return self->shard_head(self->top_shard()).at;
 }
 
 Time EventQueue::pop_and_run(std::size_t* shard_out) {
   GS_CHECK(!empty());
   const std::size_t shard = top_shard();
   if (shard_out != nullptr) *shard_out = shard;
-  std::vector<Entry>& heap = heaps_[shard];
-  std::pop_heap(heap.begin(), heap.end(), Later{});
-  Entry entry = std::move(heap.back());
-  heap.pop_back();
+  Entry entry = shard_take(shard);
   --live_;
   cached_top_ = kNoShard;
   if (entry.sink != nullptr) {
@@ -139,7 +184,7 @@ Time EventQueue::pop_and_run(std::size_t* shard_out) {
 }
 
 bool EventQueue::top_is_batchable() {
-  const Entry& head = heaps_[top_shard()].front();
+  const Entry& head = shard_head(top_shard());
   return head.sink != nullptr && head.sink->batchable();
 }
 
@@ -148,15 +193,13 @@ std::size_t EventQueue::pop_batch(Time limit, std::vector<PooledBatchItem>& out,
   GS_CHECK(!empty());
   out.clear();
   std::size_t shard = top_shard();
-  EventSink* const sink = heaps_[shard].front().sink;
+  EventSink* const sink = shard_head(shard).sink;
   GS_CHECK(sink != nullptr);
   const bool across_times = sink->batch_across_times();
-  const Time first_at = heaps_[shard].front().at;
+  const Time first_at = shard_head(shard).at;
   for (;;) {
-    std::vector<Entry>& heap = heaps_[shard];
-    out.push_back({heap.front().at, heap.front().a, heap.front().b});
-    std::pop_heap(heap.begin(), heap.end(), Later{});
-    heap.pop_back();
+    const Entry entry = shard_take(shard);
+    out.push_back({entry.at, entry.a, entry.b});
     --live_;
     cached_top_ = kNoShard;
     if (out.size() >= kMaxBatch || empty()) break;
@@ -165,7 +208,7 @@ std::size_t EventQueue::pop_batch(Time limit, std::vector<PooledBatchItem>& out,
     // timestamp.  Stopping at the first mismatch keeps the batch a prefix
     // of the canonical pop order.
     shard = top_shard();
-    const Entry& next = heaps_[shard].front();
+    const Entry& next = shard_head(shard);
     if (next.sink != sink || next.at > limit) break;
     if (!across_times && next.at != first_at) break;
   }
@@ -175,6 +218,7 @@ std::size_t EventQueue::pop_batch(Time limit, std::vector<PooledBatchItem>& out,
 
 void EventQueue::clear() noexcept {
   for (std::vector<Entry>& heap : heaps_) heap.clear();
+  for (TimingWheel& wheel : wheels_) wheel.clear();
   cancelled_.clear();
   live_ = 0;
   cached_top_ = kNoShard;

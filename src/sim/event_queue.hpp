@@ -1,26 +1,34 @@
 // Pending-event set for the discrete-event simulator.
 //
-// Binary heaps keyed by (time, sequence): the sequence number makes
+// Entries are keyed by (time, sequence): the sequence number makes
 // same-time events fire in insertion order, which keeps runs bit-for-bit
-// reproducible regardless of heap internals.
+// reproducible regardless of the backing store's internals.
+//
+// Two interchangeable backends store the pending set:
+//   - binary heaps (the default): O(log n) schedule and pop;
+//   - hierarchical timing wheels (enable_timing_wheel): amortized O(1)
+//     schedule and O(bucket) pops — see sim/timing_wheel.hpp.  Each bucket
+//     drains through a stable (time, sequence) sort, so the pop order (and
+//     therefore every fixed-seed metric downstream) is bit-identical to the
+//     heap backend; only the schedule/pop cost changes.
 //
 // The queue is optionally *sharded*: set_shard_count(P) partitions the
-// pending set into P independent heaps, and schedule_on(shard, ...) places
+// pending set into P independent stores, and schedule_on(shard, ...) places
 // an event in a specific partition (the sharded engine routes each peer's
 // delivery events to that peer's shard).  Sequence numbers stay GLOBAL
 // across shards, and the pop side merges the shard heads by
 // (time, sequence) — so the execution order is exactly the order a single
 // unsharded queue would produce, no matter how events are distributed.
 // That merge rule is what keeps sharded runs bit-identical to sequential
-// ones; the shard dimension only buys smaller heaps (cheaper push/pop at
+// ones; the shard dimension only buys smaller stores (cheaper push/pop at
 // scale) and a per-peer-partitioned pending set.
 //
 // Two kinds of entry share the one sequence domain (so their mutual
 // ordering at a timestamp is still insertion order):
 //   - closure events: an arbitrary std::function<void()>;
 //   - pooled plain-struct events: an EventSink* plus two payload words
-//     stored inline in the heap entry.  Scheduling one never allocates —
-//     the entry vector IS the pool — which is what keeps the hot delivery
+//     stored inline in the entry.  Scheduling one never allocates —
+//     the entry storage IS the pool — which is what keeps the hot delivery
 //     path (one event per segment transfer) allocation-free.
 #pragma once
 
@@ -29,13 +37,9 @@
 #include <unordered_set>
 #include <vector>
 
+#include "sim/timing_wheel.hpp"  // Time, EventId, QueueEntry, TimingWheel
+
 namespace gs::sim {
-
-/// Simulation time in seconds.
-using Time = double;
-
-/// Identifies a scheduled event for cancellation.
-using EventId = std::uint64_t;
 
 /// One pooled entry of a batched pop: its fire time plus the two payload
 /// words.  pop_batch hands the sink a contiguous run of these.
@@ -83,12 +87,36 @@ class EventQueue {
  public:
   EventQueue() : heaps_(1) {}
 
-  /// Partitions the pending set into `shards` independent heaps (>= 1).
-  /// Must be called while the queue is empty; existing entries are not
-  /// redistributed.  Pop order is unaffected (global (time, sequence)
-  /// merge); only schedule_on targets change meaning.
+  /// Partitions the pending set into `shards` independent stores (>= 1).
+  /// Must be called while the queue is empty — pending events are never
+  /// rehomed (rejected loudly; silently redistributing them would move
+  /// entries between schedule_on targets).  Pop order is unaffected (global
+  /// (time, sequence) merge); only schedule_on targets change meaning.
   void set_shard_count(std::size_t shards);
-  [[nodiscard]] std::size_t shard_count() const noexcept { return heaps_.size(); }
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return wheel_on_ ? wheels_.size() : heaps_.size();
+  }
+
+  /// Swaps the backing store from per-shard binary heaps to per-shard
+  /// hierarchical timing wheels quantized at `quantum` seconds (the tick
+  /// cadence, for the engine).  Must be called while the queue is empty.
+  /// Pop order is bit-identical to the heap backend (each bucket drains
+  /// through a stable (time, sequence) sort); only schedule/pop cost and
+  /// the wheel telemetry change.  Composes with set_shard_count in either
+  /// order.
+  void enable_timing_wheel(double quantum);
+  [[nodiscard]] bool timing_wheel_enabled() const noexcept { return wheel_on_; }
+
+  /// Wheel-plane telemetry aggregated over the shards (all zero while the
+  /// heap backend is active): entries scheduled through the wheels, entries
+  /// promoted from the overflow wheel / spill heap into finer levels, and
+  /// the spill heap's peak occupancy (max across shards).
+  struct WheelTelemetry {
+    std::uint64_t scheduled = 0;
+    std::uint64_t overflow_promotions = 0;
+    std::uint64_t spill_peak = 0;
+  };
+  [[nodiscard]] WheelTelemetry wheel_telemetry() const noexcept;
 
   /// Schedules `action` at absolute time `at` on shard 0.  Returns an id
   /// usable with cancel().  `at` may equal the current head time; ties fire
@@ -101,7 +129,7 @@ class EventQueue {
   /// this never allocates.  `sink` must outlive the event.
   EventId schedule(Time at, EventSink& sink, std::uint64_t a, std::uint64_t b);
 
-  /// schedule() variants targeting a specific shard's heap.
+  /// schedule() variants targeting a specific shard's store.
   EventId schedule_on(std::size_t shard, Time at, std::function<void()> action);
   EventId schedule_on(std::size_t shard, Time at, EventSink& sink, std::uint64_t a,
                       std::uint64_t b);
@@ -142,24 +170,15 @@ class EventQueue {
   void clear() noexcept;
 
  private:
-  struct Entry {
-    Time at = 0.0;
-    EventId id = 0;
-    /// Non-null selects the pooled plain-struct path; `action` is unused.
-    EventSink* sink = nullptr;
-    std::uint64_t a = 0;
-    std::uint64_t b = 0;
-    std::function<void()> action;
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const noexcept {
-      if (a.at != b.at) return a.at > b.at;
-      return a.id > b.id;
-    }
-  };
+  using Entry = QueueEntry;
+  using Later = QueueEntryLater;
 
   EventId push_entry(std::size_t shard, Entry entry);
-  /// Removes cancelled entries sitting at `shard`'s heap top.
+  /// Backend-neutral shard primitives: occupancy, head peek, head removal.
+  [[nodiscard]] bool shard_has(std::size_t shard) const;
+  [[nodiscard]] const Entry& shard_head(std::size_t shard);
+  Entry shard_take(std::size_t shard);
+  /// Removes cancelled entries sitting at `shard`'s head.
   void skip_cancelled(std::size_t shard);
   /// Shard holding the globally earliest live entry; requires !empty().
   /// Drops cancelled heads as a side effect and caches the winner so the
@@ -172,12 +191,17 @@ class EventQueue {
   /// the caller's scratch memory.
   static constexpr std::size_t kMaxBatch = 4096;
 
-  /// One binary heap per shard; the unsharded queue is the 1-shard case.
+  /// One binary heap per shard (heap backend; the unsharded queue is the
+  /// 1-shard case).  Unused while the wheel backend is active.
   std::vector<std::vector<Entry>> heaps_;
+  /// One timing wheel per shard (wheel backend; see enable_timing_wheel).
+  std::vector<TimingWheel> wheels_;
+  bool wheel_on_ = false;
+  double wheel_quantum_ = 1.0;
   std::unordered_set<EventId> cancelled_;
   EventId next_id_ = 1;
   std::size_t live_ = 0;
-  /// top_shard() memo; kNoShard whenever the heaps may have changed.
+  /// top_shard() memo; kNoShard whenever the stores may have changed.
   std::size_t cached_top_ = kNoShard;
 };
 

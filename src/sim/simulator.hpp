@@ -41,6 +41,22 @@ class Simulator {
   void enable_shards(std::size_t shards, ShardRouter router);
   [[nodiscard]] std::size_t shard_count() const noexcept { return queue_.shard_count(); }
 
+  /// Swaps the pending set's backing store from per-shard binary heaps to
+  /// hierarchical timing wheels quantized at `quantum` seconds (the engine
+  /// passes the tick cadence tau).  Call before anything is scheduled.
+  /// Pure mechanism: pop order is bit-identical to the heap backend (see
+  /// EventQueue::enable_timing_wheel), so everything downstream — metrics,
+  /// rng draws, event ids — is unchanged; only schedule/pop cost and the
+  /// wheel telemetry differ.  Composes with enable_shards in either order.
+  void enable_timing_wheel(double quantum) { queue_.enable_timing_wheel(quantum); }
+  [[nodiscard]] bool timing_wheel_enabled() const noexcept {
+    return queue_.timing_wheel_enabled();
+  }
+  /// Wheel telemetry aggregated over the shards (zeros while on heaps).
+  [[nodiscard]] EventQueue::WheelTelemetry wheel_telemetry() const noexcept {
+    return queue_.wheel_telemetry();
+  }
+
   /// Batched pops: when enabled, a maximal run of consecutive pooled
   /// events whose sink opted in (EventSink::batchable) is dispatched as
   /// ONE on_batch call instead of per-event on_event calls.  The run is

@@ -28,6 +28,12 @@ Engine::Engine(net::Graph graph, net::LatencyModel latency, EngineConfig config,
       setup_rng_(util::Rng(config_.seed).fork(util::hash_name("setup"))) {
   GS_CHECK(strategy != nullptr);
   strategies_.push_back(std::move(strategy));
+  // Timing-wheel event plane, quantized at the tick cadence: gossip sweeps
+  // land on bucket boundaries and deliveries fill the current-period
+  // bucket, so schedule_on is a bucket append and pops walk pre-sorted
+  // buckets.  Must precede any scheduling; pop order (and every metric) is
+  // bit-identical to the heap backend.
+  if (config_.timing_wheel) sim_.enable_timing_wheel(config_.tau);
   // The per-tick arena is single-threaded; parallel plan lanes keep heap
   // allocation (their supplier lists get the null-arena fallback).
   use_plan_arena_ = config_.peer_pool && config_.parallel_shards == 0;
@@ -399,13 +405,27 @@ void Engine::run_parallel_sweep(const std::vector<std::uint32_t>& members, doubl
     }
   }
   // Warm-up fence for the zero-allocation telemetry: lane-arena chunks
-  // allocated past this sweep count as steady-state allocations.
-  if (!arena_warm_marked_ && stats_.parallel_sweeps >= 16) {
+  // allocated past the fence count as steady-state allocations.  The fence
+  // is adaptive — it arms only after at least 16 sweeps AND 16 consecutive
+  // sweeps with no chunk growth, and RE-ARMS whenever growth resumes — so
+  // the ramp of the candidate working set (which at N=10^5 outlives a fixed
+  // 16-sweep window) stays inside the warm-up count.  At run end an armed
+  // fence therefore certifies a genuinely quiet tail (the last >= 16 sweeps
+  // allocated nothing, arena_steady_chunks exactly 0); a fence still
+  // unarmed reports arena_warm_chunks == 0, which the steady-state test
+  // rejects as "the arenas never stopped growing".
+  std::uint64_t total = 0;
+  for (const std::unique_ptr<util::Arena>& a : lane_arenas_) {
+    total += a->chunk_allocations();
+  }
+  if (total != arena_fence_last_chunks_) {
+    arena_fence_last_chunks_ = total;
+    arena_fence_quiet_sweeps_ = 0;
+    arena_warm_marked_ = false;  // growth resumed: the lanes were not warm yet
+  } else if (!arena_warm_marked_ && ++arena_fence_quiet_sweeps_ >= 16 &&
+             stats_.parallel_sweeps >= 16) {
     arena_warm_marked_ = true;
-    arena_warm_chunks_ = 0;
-    for (const std::unique_ptr<util::Arena>& a : lane_arenas_) {
-      arena_warm_chunks_ += a->chunk_allocations();
-    }
+    arena_warm_chunks_ = total;
   }
 }
 

@@ -114,6 +114,18 @@ struct EngineConfig {
   /// flag on or off (enforced by stream_determinism_test); only the event
   /// count and the scheduling overhead change.
   bool batch_dispatch = false;
+  /// Timing-wheel event plane: back each event-queue shard with a
+  /// hierarchical timing wheel (near wheel quantized at tau, coarser
+  /// overflow wheel, far-horizon spill heap; see sim/timing_wheel.hpp)
+  /// instead of a binary heap — amortized O(1) schedule/cancel, O(bucket)
+  /// pops.  Pure mechanism like batch_dispatch: each bucket drains through
+  /// a stable (time, sequence) sort, so pop order — and every fixed-seed
+  /// metric — is bit-identical with the flag on or off at every shard
+  /// count (enforced by stream_determinism_test and the sim_property_test
+  /// backend-equivalence property); only schedule/pop cost and the wheel
+  /// telemetry (EngineStats::events_wheeled / wheel_overflow_promotions /
+  /// spill_heap_peak) change.
+  bool timing_wheel = true;
   /// Peers per tick shard: peers [s*size, (s+1)*size) share one stagger
   /// phase and, under batch_dispatch, one sweep event.  Shared by both
   /// dispatch modes so they produce the same schedule; must be >= 1.
@@ -345,12 +357,24 @@ struct EngineStats {
   std::uint64_t parallel_commits = 0;
   std::uint64_t parallel_books = 0;
   /// Lane-arena telemetry (parallel_shards > 0): heap chunks the per-lane
-  /// plan arenas ever allocated, and the chunks allocated after the
-  /// warm-up window (the first 16 parallel sweeps) — the steady-state
-  /// count the zero-allocation claim is measured by (0 once the lanes are
-  /// warm; counter-verified in stream_determinism_test).
+  /// plan arenas ever allocated; the chunk total frozen when the adaptive
+  /// warm-up fence armed (after >= 16 parallel sweeps AND 16 consecutive
+  /// sweeps with no chunk growth — 0 means the fence never armed, i.e. the
+  /// arenas never went quiet); and the chunks allocated after the fence —
+  /// the steady-state count the zero-allocation claim is measured by
+  /// (exactly 0 once armed; counter-verified in stream_determinism_test).
   std::uint64_t arena_chunks = 0;
+  std::uint64_t arena_warm_chunks = 0;
   std::uint64_t arena_steady_chunks = 0;
+  /// Timing-wheel event plane (timing_wheel only; zeros on the heap
+  /// backend): events scheduled through the wheels, entries promoted from
+  /// the overflow wheel / spill heap into finer levels as the horizon
+  /// advanced, and the spill heap's peak occupancy (max across shards).
+  /// Pure-mechanism telemetry: the wheel changes no metric, only where
+  /// entries wait and what schedule/pop cost.
+  std::uint64_t events_wheeled = 0;
+  std::uint64_t wheel_overflow_promotions = 0;
+  std::uint64_t spill_heap_peak = 0;
   /// Flash-crowd joiners admitted (subset of `joins`).
   std::size_t flash_joins = 0;
   /// CDN-assist plane (cdn_assist only): patch segments / wire bytes the
@@ -759,11 +783,18 @@ class Engine {
   /// Reroutes record_finish / record_prepared / the s2-start push into the
   /// BookEvent logs (set only for the duration of the parallel book phase).
   bool book_phase_ = false;
-  /// Total lane-arena chunk allocations at the end of the warm-up window
-  /// (the 16th parallel sweep); EngineStats::arena_steady_chunks measures
-  /// growth past this point.
+  /// Total lane-arena chunk allocations at the end of the warm-up window;
+  /// EngineStats::arena_steady_chunks measures growth past this point.
+  /// The fence is adaptive: it arms after at least 16 parallel sweeps AND
+  /// 16 consecutive sweeps without chunk growth, and re-arms whenever
+  /// growth resumes, so ramp-phase growth at any N stays inside the
+  /// warm-up count (see run_parallel_sweep).
   std::uint64_t arena_warm_chunks_ = 0;
   bool arena_warm_marked_ = false;
+  /// Adaptive-fence scratch: last observed chunk total and the count of
+  /// consecutive sweeps it stayed flat.
+  std::uint64_t arena_fence_last_chunks_ = 0;
+  std::uint32_t arena_fence_quiet_sweeps_ = 0;
 
   std::vector<DebugPoint> debug_series_;
   std::unique_ptr<sim::PeriodicTask> debug_task_;

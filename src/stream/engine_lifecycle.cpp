@@ -355,15 +355,24 @@ std::vector<SwitchMetrics> Engine::run() {
   stats_.index_updates = availability_.updates_applied();
   stats_.cross_shard_events = sim_.cross_shard_scheduled();
   stats_.superbatch_sweeps = ticker_ ? ticker_->superbatch_count() : 0;
-  // Lane-arena telemetry: total chunk allocations ever, and those past the
-  // warm-up fence — the zero-allocation claim is that the latter is 0 once
-  // the lanes are warm (runs shorter than the fence report 0 vacuously).
+  // Lane-arena telemetry: total chunk allocations ever, the total frozen
+  // when the adaptive fence armed (0 = never armed), and those past the
+  // fence — the zero-allocation claim is that the last is exactly 0 once
+  // the lanes went quiet (runs too short to arm the fence report 0 in
+  // arena_warm_chunks, which the tightened test rejects).
   std::uint64_t arena_chunks = 0;
   for (const std::unique_ptr<util::Arena>& a : lane_arenas_) {
     arena_chunks += a->chunk_allocations();
   }
   stats_.arena_chunks = arena_chunks;
+  stats_.arena_warm_chunks = arena_warm_marked_ ? arena_warm_chunks_ : 0;
   stats_.arena_steady_chunks = arena_warm_marked_ ? arena_chunks - arena_warm_chunks_ : 0;
+
+  // Timing-wheel telemetry (zeros on the heap backend).
+  const sim::EventQueue::WheelTelemetry wheel = sim_.wheel_telemetry();
+  stats_.events_wheeled = wheel.scheduled;
+  stats_.wheel_overflow_promotions = wheel.overflow_promotions;
+  stats_.spill_heap_peak = wheel.spill_peak;
 
   // Memory-plane telemetry: heap footprint of all per-peer state plus the
   // process high-water mark (the latter includes non-peer state by nature).

@@ -407,6 +407,236 @@ TEST(BatchTickerProperty, SuperBatchedSweepsEqualPerGroupSweeps) {
   }
 }
 
+// --------------------------------------------------- timing-wheel backend ---
+//
+// The wheel's entire contract is backend equivalence: whatever the workload,
+// the pop sequence must be bit-identical to the binary-heap backend's global
+// (time, sequence) order.  These properties drive both backends with the
+// same random scripts and compare execution traces.
+
+/// One scripted schedule operation, applied identically to both backends.
+struct WheelScript {
+  Time at = 0.0;
+  int tag = 0;
+  bool pooled = false;
+  bool rearm = false;   ///< closure schedules a follow-up from inside its pop
+  Time rearm_at = 0.0;  ///< may precede `at` (exercises the late-arrival path)
+};
+
+/// Loads a script into one queue; returns the ids of the top-level entries.
+std::vector<EventId> load_script(EventQueue& queue, RecordingSink& sink,
+                                 std::vector<int>& fired,
+                                 const std::vector<WheelScript>& script) {
+  std::vector<EventId> ids;
+  for (const WheelScript& s : script) {
+    if (s.pooled) {
+      ids.push_back(queue.schedule(s.at, sink, static_cast<std::uint64_t>(s.tag), 0));
+    } else if (s.rearm) {
+      ids.push_back(queue.schedule(s.at, [&queue, &fired, s] {
+        fired.push_back(s.tag);
+        queue.schedule(s.rearm_at, [&fired, s] { fired.push_back(s.tag + 100000); });
+      }));
+    } else {
+      ids.push_back(queue.schedule(s.at, [&fired, s] { fired.push_back(s.tag); }));
+    }
+  }
+  return ids;
+}
+
+std::vector<WheelScript> random_script(util::Rng& rng, int count) {
+  std::vector<WheelScript> script;
+  for (int tag = 0; tag < count; ++tag) {
+    WheelScript s;
+    const double shape = rng.uniform();
+    if (shape < 0.55) {
+      // Dense integer ties, including pre-anchor (warm-up) times.
+      s.at = static_cast<Time>(rng.uniform_int(-3, 20));
+    } else if (shape < 0.85) {
+      // Continuous near/coarse-horizon times.
+      s.at = rng.uniform(0.0, 400.0);
+    } else {
+      // Far horizon: overflows the near and coarse wheels into the spill
+      // heap at every quantum under test.
+      s.at = rng.uniform(0.0, 60000.0);
+    }
+    s.tag = tag;
+    s.pooled = rng.bernoulli(0.4);
+    if (!s.pooled && rng.bernoulli(0.3)) {
+      s.rearm = true;
+      // Follow-ups may land before their parent (late arrival into a bucket
+      // the cursor already passed) or far ahead.
+      s.rearm_at = s.at + rng.uniform(-8.0, 40.0);
+    }
+    script.push_back(s);
+  }
+  return script;
+}
+
+TEST(TimingWheelProperty, MixedWorkloadPopsIdenticallyToHeapBackend) {
+  util::Rng rng(31337);
+  for (const double quantum : {0.25, 1.0, 3.0}) {
+    for (int trial = 0; trial < 12; ++trial) {
+      EventQueue heap;
+      EventQueue wheel;
+      wheel.enable_timing_wheel(quantum);
+      std::vector<int> heap_fired;
+      std::vector<int> wheel_fired;
+      RecordingSink heap_sink;
+      heap_sink.fired = &heap_fired;
+      RecordingSink wheel_sink;
+      wheel_sink.fired = &wheel_fired;
+      const std::vector<WheelScript> script = random_script(rng, 150);
+      const std::vector<EventId> heap_ids = load_script(heap, heap_sink, heap_fired, script);
+      const std::vector<EventId> wheel_ids =
+          load_script(wheel, wheel_sink, wheel_fired, script);
+      // Random cancellations, mirrored; both backends must agree on hits.
+      for (int k = 0; k < 25; ++k) {
+        const auto victim = static_cast<std::size_t>(rng.uniform_int(0, 149));
+        EXPECT_EQ(heap.cancel(heap_ids[victim]), wheel.cancel(wheel_ids[victim]));
+      }
+      EXPECT_EQ(heap.size(), wheel.size());
+      while (!heap.empty() || !wheel.empty()) {
+        ASSERT_FALSE(heap.empty());
+        ASSERT_FALSE(wheel.empty());
+        ASSERT_EQ(heap.next_time(), wheel.next_time())
+            << "quantum " << quantum << " trial " << trial;
+        heap.pop_and_run();
+        wheel.pop_and_run();
+      }
+      EXPECT_EQ(heap_fired, wheel_fired) << "quantum " << quantum << " trial " << trial;
+      EXPECT_GT(wheel.wheel_telemetry().scheduled, 0u);
+      EXPECT_EQ(heap.wheel_telemetry().scheduled, 0u);
+    }
+  }
+}
+
+TEST(TimingWheelProperty, ShardedWheelMatchesShardedHeap) {
+  // Cross-shard routing on wheel shards: the merged pop sequence (and the
+  // shard each pop drains from) must equal the heap-backed sharded queue's.
+  // Alternates enable order to prove set_shard_count and
+  // enable_timing_wheel compose both ways.
+  util::Rng rng(90210);
+  for (int round = 0; round < 12; ++round) {
+    const std::size_t shards = 1 + static_cast<std::size_t>(rng.uniform_int(1, 6));
+    EventQueue heap;
+    heap.set_shard_count(shards);
+    EventQueue wheel;
+    if (round % 2 == 0) {
+      wheel.set_shard_count(shards);
+      wheel.enable_timing_wheel(0.5);
+    } else {
+      wheel.enable_timing_wheel(0.5);
+      wheel.set_shard_count(shards);
+    }
+    std::vector<int> heap_fired;
+    std::vector<int> wheel_fired;
+    std::vector<EventId> heap_ids;
+    std::vector<EventId> wheel_ids;
+    for (int tag = 0; tag < 200; ++tag) {
+      // Dense ties plus a far-horizon tail that lands in the spill heap.
+      const Time at = rng.bernoulli(0.8) ? std::floor(rng.uniform(0.0, 20.0))
+                                         : std::floor(rng.uniform(0.0, 30000.0));
+      const auto shard = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(shards) - 1));
+      heap_ids.push_back(
+          heap.schedule_on(shard, at, [tag, &heap_fired] { heap_fired.push_back(tag); }));
+      wheel_ids.push_back(
+          wheel.schedule_on(shard, at, [tag, &wheel_fired] { wheel_fired.push_back(tag); }));
+    }
+    for (int k = 0; k < 30; ++k) {
+      const auto victim = static_cast<std::size_t>(rng.uniform_int(0, 199));
+      EXPECT_EQ(heap.cancel(heap_ids[victim]), wheel.cancel(wheel_ids[victim]));
+    }
+    while (!heap.empty()) {
+      ASSERT_FALSE(wheel.empty());
+      EXPECT_EQ(heap.next_time(), wheel.next_time());
+      std::size_t heap_shard = 99;
+      std::size_t wheel_shard = 99;
+      heap.pop_and_run(&heap_shard);
+      wheel.pop_and_run(&wheel_shard);
+      EXPECT_EQ(heap_shard, wheel_shard) << "pop drained a different shard";
+    }
+    EXPECT_TRUE(wheel.empty());
+    EXPECT_EQ(heap_fired, wheel_fired) << "round " << round;
+  }
+}
+
+TEST(TimingWheelProperty, BatchedPopsMatchHeapBackendBatchedPops) {
+  // pop_batch over wheel shards: batchable pooled runs must be cut at the
+  // same points and carry the same (time, tag) items as the heap backend's.
+  util::Rng rng(555);
+  for (int trial = 0; trial < 12; ++trial) {
+    std::vector<Observation> by_backend[2];
+    std::uint64_t batches[2] = {0, 0};
+    for (const bool use_wheel : {false, true}) {
+      Simulator sim;
+      sim.enable_batch_pop(true);
+      if (use_wheel) sim.enable_timing_wheel(1.0);
+      BatchableSink sink;
+      std::vector<Observation>& out = by_backend[use_wheel ? 1 : 0];
+      sink.fired = &out;
+      sink.sim = &sim;
+      util::Rng gen(static_cast<std::uint64_t>(trial) * 31 + 5);
+      for (std::uint32_t tag = 0; tag < 140; ++tag) {
+        const Time at = std::floor(gen.uniform(0.0, 12.0));  // dense ties
+        if (gen.bernoulli(0.7)) {
+          sim.at(at, sink, tag, 0);
+        } else {
+          sim.at(at, [&out, tag, &sim] { out.emplace_back(sim.now(), 100000 + tag); });
+        }
+      }
+      const std::size_t ran = sim.run_until(20.0);
+      EXPECT_EQ(ran, 140u);
+      batches[use_wheel ? 1 : 0] = sink.batches;
+    }
+    EXPECT_EQ(by_backend[0], by_backend[1]) << "trial " << trial;
+    // Identical pop order implies identical run boundaries.
+    EXPECT_EQ(batches[0], batches[1]) << "trial " << trial;
+    EXPECT_GT(batches[1], 0u);
+  }
+}
+
+TEST(TimingWheelProperty, FarHorizonWorkloadExercisesCoarseWheelAndSpill) {
+  // Telemetry sanity: a workload far beyond the near horizon must route
+  // through the overflow levels (promotions as the cursor advances, a
+  // non-empty spill peak) and still pop in nondecreasing time order.
+  util::Rng rng(2718);
+  EventQueue queue;
+  queue.enable_timing_wheel(1.0);
+  for (int i = 0; i < 400; ++i) {
+    queue.schedule(rng.uniform(0.0, 50000.0), [] {});
+  }
+  Time last = -1.0;
+  while (!queue.empty()) {
+    const Time next = queue.next_time();
+    EXPECT_GE(next, last);
+    last = next;
+    queue.pop_and_run();
+  }
+  const EventQueue::WheelTelemetry telemetry = queue.wheel_telemetry();
+  EXPECT_EQ(telemetry.scheduled, 400u);
+  EXPECT_GT(telemetry.overflow_promotions, 0u)
+      << "50000s horizon never promoted out of the overflow levels";
+  EXPECT_GT(telemetry.spill_peak, 0u)
+      << "50000s horizon never reached the spill heap (near+coarse cover ~16384s)";
+}
+
+TEST(EventQueueDeathTest, ShardLayoutChangeWithPendingEventsAborts) {
+  // set_shard_count while events are pending would scramble the shard
+  // residency of queued entries; it must fail loudly, not rehome silently.
+  EventQueue queue;
+  queue.schedule(1.0, [] {});
+  EXPECT_DEATH(queue.set_shard_count(4),
+               "shard layout may only change while the queue is empty");
+}
+
+TEST(EventQueueDeathTest, BackendChangeWithPendingEventsAborts) {
+  EventQueue queue;
+  queue.schedule(1.0, [] {});
+  EXPECT_DEATH(queue.enable_timing_wheel(1.0),
+               "backing store may only change while the queue is empty");
+}
+
 TEST(BatchTickerProperty, DestructionCancelsPendingSweeps) {
   Simulator sim;
   int fired = 0;

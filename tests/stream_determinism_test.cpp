@@ -49,6 +49,9 @@ struct RunSpec {
   /// CDN-assisted fast switch (changes dynamics by design when on; off must
   /// stay bit-identical to a build without the plane).
   bool cdn = false;
+  /// Timing-wheel event plane (defaults on, like the engine; false = the
+  /// binary-heap baseline backend).
+  bool wheel = true;
   std::size_t parallel = 0;
   std::size_t tick_shard = 16;
   std::vector<net::NodeId> sources = {0, 1};
@@ -81,6 +84,7 @@ RunOutput run_setup(const RunSpec& setup) {
   config.peer_pool = setup.peer_pool;
   config.flash_crowd_joins = setup.flash_joins;
   config.cdn_assist = setup.cdn;
+  config.timing_wheel = setup.wheel;
   config.parallel_shards = setup.parallel;
   config.tick_shard_size = setup.tick_shard;
 
@@ -1120,18 +1124,111 @@ TEST(ParallelCommit, LayeredColouringIsValid) {
 }
 
 TEST(ParallelCommit, SteadyStateArenaAllocationsAreZero) {
-  // The per-lane arena pool must reach a zero-allocation steady state: after
-  // the warm-up fence (16 parallel sweeps) no arena chunk may ever be
-  // malloc'd again.  arena_chunks counts cumulative chunk allocations across
-  // all lanes; arena_steady_chunks is the post-fence remainder.
+  // The per-lane arena pool must reach a zero-allocation steady state.  The
+  // adaptive fence arms only after >= 16 parallel sweeps AND 16 consecutive
+  // sweeps with no chunk growth, so arena_warm_chunks > 0 proves the lanes
+  // actually went quiet (a fence that never arms would report
+  // arena_steady_chunks == 0 vacuously — rejected here), and
+  // arena_steady_chunks == 0 is then exact: not one chunk may be malloc'd
+  // after the arenas stop growing.
   RunSpec setup;
   setup.seed = 67;
   setup.parallel = 4;
   const RunOutput out = run_setup(setup);
   EXPECT_GT(out.stats.parallel_sweeps, 16u) << "run too short to pass the warm-up fence";
   EXPECT_GT(out.stats.arena_chunks, 0u) << "lane arenas should be in use";
+  EXPECT_GT(out.stats.arena_warm_chunks, 0u)
+      << "adaptive fence never armed: the arenas kept allocating to the end of the run";
+  EXPECT_LE(out.stats.arena_warm_chunks, out.stats.arena_chunks);
   EXPECT_EQ(out.stats.arena_steady_chunks, 0u)
       << "heap allocation after the warm-up fence breaks the zero-alloc steady state";
+}
+
+// ----------------------------------------------------------- TimingWheel ---
+//
+// The timing-wheel event plane is pure mechanism: every pop must happen in
+// the same global (time, sequence) order the binary-heap backend produces,
+// so fixed-seed metrics are bit-identical wheel on vs off — across shard
+// counts and composed with every other flag family.
+
+RunOutput run_wheel(RunSpec setup, bool wheel) {
+  setup.wheel = wheel;
+  return run_setup(setup);
+}
+
+TEST(TimingWheel, SequentialRunMatchesHeapBackend) {
+  RunSpec setup;
+  setup.seed = 71;
+  expect_identical(run_wheel(setup, false), run_wheel(setup, true));
+}
+
+TEST(TimingWheel, SingleShardMatchesHeapBackend) {
+  RunSpec setup;
+  setup.seed = 72;
+  setup.parallel = 1;
+  expect_identical(run_wheel(setup, false), run_wheel(setup, true));
+}
+
+TEST(TimingWheel, ShardedChurnRunMatchesHeapBackend) {
+  RunSpec setup;
+  setup.seed = 73;
+  setup.parallel = 4;
+  setup.churn = true;
+  expect_identical(run_wheel(setup, false), run_wheel(setup, true));
+}
+
+TEST(TimingWheel, SevenShardMultiSwitchMatchesHeapBackend) {
+  RunSpec setup;
+  setup.seed = 74;
+  setup.parallel = 7;
+  setup.sources = {0, 1, 2};
+  setup.switch_times = {0.0, 40.0};
+  expect_identical(run_wheel(setup, false), run_wheel(setup, true));
+}
+
+TEST(TimingWheel, CdnAssistMatchesHeapBackend) {
+  RunSpec setup;
+  setup.seed = 75;
+  setup.parallel = 4;
+  setup.cdn = true;
+  expect_identical(run_wheel(setup, false), run_wheel(setup, true));
+}
+
+TEST(TimingWheel, FlashCrowdPeerPoolMatchesHeapBackend) {
+  RunSpec setup;
+  setup.seed = 76;
+  setup.parallel = 4;
+  setup.peer_pool = true;
+  setup.flash_joins = 30;
+  expect_identical(run_wheel(setup, false), run_wheel(setup, true));
+}
+
+TEST(TimingWheel, FullCompositionMatchesHeapBackend) {
+  // The kitchen sink: churn + incremental availability + windowed views +
+  // peer pool + token-bucket capacity on 7 shards.
+  RunSpec setup;
+  setup.seed = 77;
+  setup.parallel = 7;
+  setup.churn = true;
+  setup.incremental = true;
+  setup.windowed = true;
+  setup.peer_pool = true;
+  setup.token_bucket = true;
+  expect_identical(run_wheel(setup, false), run_wheel(setup, true));
+}
+
+TEST(TimingWheel, WheelRunsReproduceThemselvesAndReportTelemetry) {
+  RunSpec setup;
+  setup.seed = 78;
+  setup.parallel = 4;
+  setup.churn = true;
+  const RunOutput a = run_wheel(setup, true);
+  expect_identical(a, run_wheel(setup, true));
+  EXPECT_GT(a.stats.events_wheeled, 0u) << "wheel backend reported no scheduled events";
+  const RunOutput heap = run_wheel(setup, false);
+  EXPECT_EQ(heap.stats.events_wheeled, 0u) << "heap backend must report zero wheel telemetry";
+  EXPECT_EQ(heap.stats.wheel_overflow_promotions, 0u);
+  EXPECT_EQ(heap.stats.spill_heap_peak, 0u);
 }
 
 TEST(Determinism, DifferentSeedsProduceDifferentRuns) {
