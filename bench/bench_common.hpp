@@ -37,6 +37,9 @@ struct BenchOptions {
   /// without recompiling.
   std::size_t tick_shard_size = 0;
   bool timing_wheel = true;
+  bool plan_gate = true;
+  bool plan_gate_legacy = false;
+  bool plan_gate_recheck = false;
   std::string capacity_model = "shared-fifo";
   bool cdn_assist = false;
   double cdn_rate = 120.0;
@@ -60,6 +63,7 @@ struct BenchOptions {
     }
     if (tick_shard_size > 0) config.engine.tick_shard_size = tick_shard_size;
     config.enable_timing_wheel(timing_wheel);
+    config.enable_plan_gate(plan_gate, plan_gate_legacy, plan_gate_recheck);
     config.engine.supplier_capacity = exp::capacity_from_string(capacity_model);
     config.enable_cdn_assist(cdn_assist);
     config.engine.cdn_assist_rate = cdn_rate;
@@ -112,6 +116,16 @@ inline bool parse_bench_flags(int argc, char** argv, BenchOptions& options,
   flags.define_bool("timing-wheel", true,
                     "timing-wheel event plane (identical metrics, O(1) "
                     "schedule; --timing-wheel=false for the heap baseline)");
+  flags.define_bool("plan-gate", true,
+                    "plan work-set plane: quiescence gate + neighbour-major "
+                    "candidate build (identical metrics, less plan work; "
+                    "--plan-gate=false for the pre-gate baseline)");
+  flags.define_bool("plan-gate-legacy", false,
+                    "maintain a gate-only availability index under the legacy "
+                    "rescan scheduler so the plan gate fires there too");
+  flags.define_bool("plan-gate-recheck", false,
+                    "debug cross-check: rebuild gated plans and assert they "
+                    "are empty (costs what the gate saves)");
   flags.define("capacity-model", "shared-fifo",
                "supplier capacity model: shared-fifo|per-link|token-bucket");
   flags.define_bool("cdn-assist", false,
@@ -142,6 +156,9 @@ inline bool parse_bench_flags(int argc, char** argv, BenchOptions& options,
   options.flash_crowd_duration = flags.get_double("flash-crowd-duration");
   options.tick_shard_size = static_cast<std::size_t>(flags.get_int("tick-shard-size"));
   options.timing_wheel = flags.get_bool("timing-wheel");
+  options.plan_gate = flags.get_bool("plan-gate");
+  options.plan_gate_legacy = flags.get_bool("plan-gate-legacy");
+  options.plan_gate_recheck = flags.get_bool("plan-gate-recheck");
   options.capacity_model = flags.get("capacity-model");
   options.cdn_assist = flags.get_bool("cdn-assist");
   options.cdn_rate = flags.get_double("cdn-rate");

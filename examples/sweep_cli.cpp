@@ -58,6 +58,16 @@ int main(int argc, char** argv) {
   flags.define_bool("timing-wheel", true,
                     "timing-wheel event plane (identical metrics, O(1) schedule; "
                     "--timing-wheel=false for the binary-heap baseline)");
+  flags.define_bool("plan-gate", true,
+                    "plan work-set plane: quiescence gate + neighbour-major "
+                    "candidate build (identical metrics, less plan work; "
+                    "--plan-gate=false for the pre-gate baseline)");
+  flags.define_bool("plan-gate-legacy", false,
+                    "maintain a gate-only availability index under the legacy "
+                    "rescan scheduler so the plan gate fires there too");
+  flags.define_bool("plan-gate-recheck", false,
+                    "debug cross-check: rebuild gated plans and assert they "
+                    "are empty (costs what the gate saves)");
   flags.define_bool("incremental-availability", false,
                     "delta-maintained availability views (identical metrics, less scan work)");
   flags.define_bool("delta-maps", false,
@@ -126,6 +136,8 @@ int main(int argc, char** argv) {
   base.engine.token_bucket_burst = flags.get_double("token-bucket-burst");
   base.enable_batch_dispatch(flags.get_bool("batch-dispatch"));
   base.enable_timing_wheel(flags.get_bool("timing-wheel"));
+  base.enable_plan_gate(flags.get_bool("plan-gate"), flags.get_bool("plan-gate-legacy"),
+                        flags.get_bool("plan-gate-recheck"));
   base.enable_incremental_availability(
       flags.get_bool("incremental-availability") || flags.get_bool("delta-maps"),
       flags.get_bool("delta-maps"));
@@ -160,12 +172,12 @@ int main(int argc, char** argv) {
 
   if (flags.get_bool("print-diagnostics")) {
     std::printf("\nengine diagnostics (one fast-algorithm trial per size)\n");
-    std::printf("%8s %12s %12s %12s %9s %9s %10s %9s %9s %11s %10s %12s %11s %10s %8s %10s "
-                "%9s %9s %8s %8s %11s %9s\n",
+    std::printf("%8s %12s %12s %12s %9s %9s %10s %11s %11s %9s %9s %11s %10s %12s %11s %10s "
+                "%8s %10s %9s %9s %8s %8s %11s %9s\n",
                 "peers", "events", "wheeled", "probes", "promo", "spill_pk", "idx_upd",
-                "sweeps", "replan", "cross_shard", "dlv_batch", "journal_mrg", "superbatch",
-                "colour_cls", "fixups", "par_commit", "par_book", "flash", "cdn_mb",
-                "assisted", "bytes/peer", "rss_mb");
+                "plans_gated", "plans_built", "sweeps", "replan", "cross_shard", "dlv_batch",
+                "journal_mrg", "superbatch", "colour_cls", "fixups", "par_commit", "par_book",
+                "flash", "cdn_mb", "assisted", "bytes/peer", "rss_mb");
     for (const std::size_t n : sizes) {
       gs::exp::Config config = base;
       config.node_count = n;
@@ -188,14 +200,16 @@ int main(int argc, char** argv) {
         std::snprintf(rss_mb, sizeof(rss_mb), "n/a");
       }
       std::printf(
-          "%8zu %12llu %12llu %12llu %9llu %9llu %10llu %9llu %9llu %11llu %10llu %12llu "
-          "%11llu %10llu %8llu %10llu %9llu %9zu %8.1f %8zu %11s %9s\n",
+          "%8zu %12llu %12llu %12llu %9llu %9llu %10llu %11llu %11llu %9llu %9llu %11llu "
+          "%10llu %12llu %11llu %10llu %8llu %10llu %9llu %9zu %8.1f %8zu %11s %9s\n",
           n, static_cast<unsigned long long>(s.events_popped),
           static_cast<unsigned long long>(s.events_wheeled),
           static_cast<unsigned long long>(s.availability_probes),
           static_cast<unsigned long long>(s.wheel_overflow_promotions),
           static_cast<unsigned long long>(s.spill_heap_peak),
           static_cast<unsigned long long>(s.index_updates),
+          static_cast<unsigned long long>(s.plans_gated),
+          static_cast<unsigned long long>(s.plans_built),
           static_cast<unsigned long long>(s.parallel_sweeps),
           static_cast<unsigned long long>(s.replanned_ticks),
           static_cast<unsigned long long>(s.cross_shard_events),

@@ -69,6 +69,22 @@ struct Config {
   /// (EngineStats::events_wheeled and friends) do.
   void enable_timing_wheel(bool on = true) { engine.timing_wheel = on; }
 
+  /// Toggles the plan work-set plane (`--plan-gate`; on by default, pass
+  /// false for the pre-gate baseline): the quiescence gate that skips the
+  /// candidate build for peers with no missing ∧ supplied work, plus the
+  /// neighbour-major candidate enumeration.  Pure mechanism: fixed-seed
+  /// metrics are bit-identical either way; only plan-phase work and the
+  /// gate telemetry (EngineStats::plans_gated/plans_built) change.
+  /// `legacy` additionally maintains a gate-only availability index under
+  /// the legacy rescan scheduler (`--plan-gate-legacy`); `recheck` turns on
+  /// the debug cross-check that re-builds gated plans and asserts
+  /// emptiness (`--plan-gate-recheck`).
+  void enable_plan_gate(bool on = true, bool legacy = false, bool recheck = false) {
+    engine.plan_gate = on;
+    engine.plan_gate_legacy = on && legacy;
+    engine.plan_gate_recheck = on && recheck;
+  }
+
   /// Turns on the incremental availability plane
   /// (`--incremental-availability`).  Like batch dispatch this is pure
   /// mechanism: fixed-seed metrics are bit-identical either way; only the

@@ -15,12 +15,25 @@ std::size_t owner_anchor(const PeerNode& p) {
   const SegmentId from = p.playback_anchor();
   return from <= 0 ? 0 : static_cast<std::size_t>(from);
 }
+
 }  // namespace
 
 void AvailabilityIndex::set_window(std::size_t span_bits) {
   GS_CHECK(!enabled_) << "set_window must precede build()";
   GS_CHECK_GT(span_bits, 0u);
   window_span_ = (span_bits + kWordBits - 1) / kWordBits * kWordBits;
+}
+
+void AvailabilityIndex::set_gate_only() {
+  GS_CHECK(!enabled_) << "set_gate_only must precede build()";
+  gate_only_ = true;
+}
+
+void AvailabilityIndex::enable_work_tracking(PeerPool* pool) {
+  GS_CHECK(!enabled_) << "enable_work_tracking must precede build()";
+  GS_CHECK(pool != nullptr);
+  track_work_ = true;
+  pool_ = pool;
 }
 
 void AvailabilityIndex::build(const net::Graph& graph, const std::vector<PeerNode>& peers) {
@@ -45,6 +58,7 @@ void AvailabilityIndex::build_view(const net::Graph& graph, const std::vector<Pe
     w.alive_neighbors.push_back(nb);  // graph adjacency is sorted by id
     add_supplier(w, peers[nb]);
   }
+  if (track_work_) recompute_work(v, w, peers[v].received);
 }
 
 const AvailabilityIndex::View& AvailabilityIndex::view(net::NodeId v) const {
@@ -63,6 +77,9 @@ bool AvailabilityIndex::track_slot(View& w, SegmentId id, std::size_t& slot) con
       const std::size_t grown = std::max(needed, w.supplier_count.size() * 2 + 64);
       w.supplier_count.resize(grown, 0);
       w.supplied.resize(grown);
+      // One work-mask bit per supplied word; the new words carry no
+      // suppliers yet, so zero-fill is the correct work state.
+      if (track_work_) w.work_mask.resize((grown + kWordBits - 1) / kWordBits);
     }
     slot = pos;
     return true;
@@ -81,7 +98,21 @@ void AvailabilityIndex::apply_gain(net::NodeId view, SegmentId id) {
   w.head = std::max(w.head, id);
   std::size_t slot = 0;
   if (!track_slot(w, id, slot)) return;  // beyond the window: sync_window reconstructs
-  if (w.supplier_count[slot]++ == 0) w.supplied.set(slot);
+  if (w.supplier_count[slot]++ == 0) {
+    w.supplied.set(slot);
+    // A fresh supplied bit may create work; whether it actually does would
+    // take the owner's received word — a cold random load per transition
+    // at 10^6 peers — so the summary marks the word unconditionally and
+    // the owner's next empty build collapses it via try_quiesce.
+    if (track_work_) {
+      const std::size_t word = slot / kWordBits;
+      if (!w.work_mask.test(word)) {
+        w.work_mask.set(word);
+        ++w.work_words;
+        sync_work_lane(view, w);
+      }
+    }
+  }
 }
 
 bool AvailabilityIndex::apply_evict(net::NodeId view, SegmentId victim) {
@@ -91,7 +122,11 @@ bool AvailabilityIndex::apply_evict(net::NodeId view, SegmentId victim) {
   if (track_slot(w, victim, slot)) {
     auto& count = w.supplier_count[slot];
     GS_CHECK_GT(count, 0u);
-    if (--count == 0) w.supplied.reset(slot);
+    if (--count == 0) {
+      w.supplied.reset(slot);
+      // Losing a supplied bit can only reduce work; the summary stays
+      // conservatively marked until an empty build quiesces the view.
+    }
   }
   // Evicting the cached head is rare (needs heavy id reordering in the
   // owner's buffer); the caller recomputes from the settled buffers.
@@ -103,7 +138,9 @@ void AvailabilityIndex::recompute_head_for(const std::vector<PeerNode>& peers,
   recompute_head(views_[view], peers);
 }
 
-void AvailabilityIndex::on_gain(const net::Graph& graph, net::NodeId owner, SegmentId id) {
+void AvailabilityIndex::on_gain(const net::Graph& graph, const std::vector<PeerNode>& peers,
+                                net::NodeId owner, SegmentId id) {
+  (void)peers;
   for (const net::NodeId nb : graph.neighbors(owner)) {
     if (!views_[nb].built) continue;
     apply_gain(nb, id);
@@ -118,6 +155,25 @@ void AvailabilityIndex::on_evict(const net::Graph& graph, const std::vector<Peer
     if (apply_evict(nb, victim)) recompute_head(views_[nb], peers);
     ++updates_;
   }
+}
+
+bool AvailabilityIndex::try_quiesce(net::NodeId v, const util::DynamicBitset& received,
+                                    SegmentId from) {
+  if (!track_work_) return false;
+  View& w = views_[v];
+  if (!w.built || w.work_words == 0) return false;
+  // One word-level scan over the whole remaining supplied range — not just
+  // the candidate window [from, to]: a missing ∧ supplied id beyond the
+  // request horizon would become a candidate as playback advances with no
+  // further delta, so it must keep the view awake.
+  const auto start = static_cast<std::size_t>(std::max<SegmentId>(from, 0));
+  const std::size_t pos = util::DynamicBitset::first_set_and_clear_offset(
+      w.supplied, w.window_base, received, start);
+  if (pos < w.supplied_end()) return false;
+  w.work_mask.reset_all();
+  w.work_words = 0;
+  sync_work_lane(v, w);
+  return true;
 }
 
 void AvailabilityIndex::apply_boundary(net::NodeId view, int boundary) {
@@ -170,6 +226,9 @@ void AvailabilityIndex::sync_window(const std::vector<PeerNode>& peers, net::Nod
       if (w.supplier_count[slot]++ == 0) w.supplied.set(slot);
     }
   }
+  // The slide moved every slot; the window is a handful of words, so a
+  // full work recount is cheaper than replaying the shifts.
+  if (track_work_) recompute_work(v, w, peers[v].received);
   ++updates_;
 }
 
@@ -239,9 +298,12 @@ void AvailabilityIndex::remove_peer(const net::Graph& graph, const std::vector<P
     remove_supplier(w, leaver);
     if (leaver.buffer.max_id() == w.head) recompute_head(w, peers);
     if (leaver.known_boundary() == w.boundary_max) recompute_boundary(w, peers);
+    if (track_work_) recompute_work(nb, w, peers[nb].received);
     ++updates_;
   }
   views_[v] = View{};
+  // A departed peer never plans again; park its gate lane closed.
+  if (pool_ != nullptr && v < pool_->size()) pool_->has_work(v) = 0;
 }
 
 void AvailabilityIndex::connect(const std::vector<PeerNode>& peers, net::NodeId u,
@@ -253,8 +315,38 @@ void AvailabilityIndex::connect(const std::vector<PeerNode>& peers, net::NodeId 
     w.alive_neighbors.insert(
         std::lower_bound(w.alive_neighbors.begin(), w.alive_neighbors.end(), other), other);
     add_supplier(w, peers[other]);
+    if (track_work_) recompute_work(self, w, peers[self].received);
     ++updates_;
   }
+}
+
+void AvailabilityIndex::recompute_work(net::NodeId v, View& w,
+                                       const util::DynamicBitset& received) {
+  const std::size_t words = (w.supplied.size() + kWordBits - 1) / kWordBits;
+  w.work_mask.resize(words);
+  w.work_mask.reset_all();
+  w.work_words = 0;
+  for (std::size_t word = 0; word < words; ++word) {
+    const std::uint64_t sup = w.supplied.extract_word(word * kWordBits);
+    if (sup == 0) continue;
+    const std::uint64_t rec = received.extract_word(w.window_base + word * kWordBits);
+    if ((sup & ~rec) != 0) {
+      w.work_mask.set(word);
+      ++w.work_words;
+    }
+  }
+  sync_work_lane(v, w);
+}
+
+void AvailabilityIndex::sync_work_lane(net::NodeId v, const View& w) {
+  if (pool_ == nullptr || v >= pool_->size()) return;
+  const std::uint8_t want = w.work_words != 0 ? 1 : 0;
+  // Transition-only stores: during the parallel delivery merge this byte
+  // belongs to the shard that owns view v, and the plan wave only reads it
+  // after the phase barrier, so a plain store is race-free — but skipping
+  // same-value stores keeps quiescent stretches from dirtying the lane.
+  std::uint8_t& lane = pool_->has_work(v);
+  if (lane != want) lane = want;
 }
 
 }  // namespace gs::stream

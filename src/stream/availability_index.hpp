@@ -77,6 +77,22 @@ class AvailabilityIndex {
     SegmentId head = kNoSegment;
     /// max over alive neighbours of known_boundary; -1 when none.
     int boundary_max = -1;
+    /// Plan-gate work summary (enable_work_tracking): a *conservative*
+    /// word-level cover of (supplied & ~owner.received) — every word with a
+    /// missing ∧ supplied segment is marked, but a marked word may have
+    /// gone quiet (the owner received the segments, or suppliers evicted
+    /// them).  Zero work_words therefore *proves* the owner has no
+    /// schedulable work and tick_plan can skip the candidate build
+    /// outright; nonzero just means "build and see".  Kept conservative on
+    /// purpose: deciding exactly at delta time would read the owner's
+    /// received set — a cold random load per delta at 10^6 peers that
+    /// costs more than the empty builds it saves.  The summary is exact
+    /// right after the bulk recomputes (build, window slide, repair edge,
+    /// join) and collapses back to zero via try_quiesce when an empty
+    /// build proves quiescence.
+    std::uint32_t work_words = 0;
+    /// Bit `w` set iff word `w` of `supplied` contributes to work_words.
+    util::DynamicBitset work_mask;
 
     /// One past the last absolute id the supplied bitset covers.
     [[nodiscard]] std::size_t supplied_end() const noexcept {
@@ -84,8 +100,27 @@ class AvailabilityIndex {
     }
   };
 
-  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+  /// True when the engine should *read* views (candidate build, stale
+  /// checks, advert snapshots).  False in gate-only mode, where the index
+  /// is maintained purely to feed the plan gate under the legacy rescan.
+  [[nodiscard]] bool enabled() const noexcept { return enabled_ && !gate_only_; }
+  /// True when the views are being maintained at all — every delta entry
+  /// point (deliveries, evictions, churn, repair edges, boundary learns,
+  /// window slides) must fire while this holds, even in gate-only mode.
+  [[nodiscard]] bool maintained() const noexcept { return enabled_; }
   [[nodiscard]] bool windowed() const noexcept { return window_span_ > 0; }
+  [[nodiscard]] bool work_tracked() const noexcept { return track_work_; }
+
+  /// Keeps the index maintained but invisible to readers (enabled() stays
+  /// false).  Lets the legacy availability mode run the plan gate without
+  /// switching the scheduler to incremental views.  Call before build().
+  void set_gate_only();
+
+  /// Turns on the per-view work summary and mirrors the zero/nonzero state
+  /// of each view's work_words into `pool->has_work(v)` so the engine's
+  /// plan gate can test quiescence with one byte load.  Call before
+  /// build(); the pool must outlive the index.
+  void enable_work_tracking(PeerPool* pool);
 
   /// Switches supplier-count keying to a sliding window of `span_bits` ids
   /// (rounded up to a word multiple) anchored at each owner's playback
@@ -98,13 +133,23 @@ class AvailabilityIndex {
   void build(const net::Graph& graph, const std::vector<PeerNode>& peers);
 
   /// `owner`'s buffer gained `id` (delivery or local generation).
-  void on_gain(const net::Graph& graph, net::NodeId owner, SegmentId id);
+  void on_gain(const net::Graph& graph, const std::vector<PeerNode>& peers, net::NodeId owner,
+               SegmentId id);
   /// `owner`'s buffer evicted `victim`.  Call after the eviction, so head
   /// recomputation sees the post-eviction buffers.
   void on_evict(const net::Graph& graph, const std::vector<PeerNode>& peers, net::NodeId owner,
                 SegmentId victim);
   /// `owner` learned switch boundaries up to `boundary`.
   void on_boundary(const net::Graph& graph, net::NodeId owner, int boundary);
+
+  /// The owner's candidate build came back empty: clears `v`'s work
+  /// summary (and the pool lane) iff the supplied ∧ ¬received scan from
+  /// `from` proves there is no schedulable work now or later without a
+  /// fresh delta — a pending-deferred id is still missing ∧ supplied, so
+  /// the scan seeing nothing also rules out retry-timer wakeups, and ids
+  /// behind `from` are dead (the playback anchor never moves backwards).
+  /// Returns true when it cleared.  No-op unless work tracking is on.
+  bool try_quiesce(net::NodeId v, const util::DynamicBitset& received, SegmentId from);
 
   // --- journaled delta application (the engine's parallel delivery wave) ---
   //
@@ -166,8 +211,17 @@ class AvailabilityIndex {
   void remove_supplier(View& w, const PeerNode& neighbor) const;
   static void recompute_head(View& w, const std::vector<PeerNode>& peers);
   static void recompute_boundary(View& w, const std::vector<PeerNode>& peers);
+  /// Full from-scratch work summary for `w` (bulk ops: build, window
+  /// slide, repair edge, neighbour removal).
+  void recompute_work(net::NodeId v, View& w, const util::DynamicBitset& received);
+  /// Mirrors work_words == 0 into pool_->has_work(v) (transition writes
+  /// only, so quiescent stretches stay read-mostly).
+  void sync_work_lane(net::NodeId v, const View& w);
 
   bool enabled_ = false;
+  bool gate_only_ = false;
+  bool track_work_ = false;
+  PeerPool* pool_ = nullptr;
   /// 0 = absolute keying; otherwise the window span in bits (multiple of 64).
   std::size_t window_span_ = 0;
   std::vector<View> views_;

@@ -113,7 +113,7 @@ Engine::Engine(net::Graph graph, net::LatencyModel latency, EngineConfig config,
   // Join wiring also fires, before the joiner's PeerNode exists — those
   // edges are picked up wholesale by add_peer in handle_join.
   membership_.set_on_edge_added([this](net::NodeId u, net::NodeId v) {
-    if (!availability_.enabled()) return;
+    if (!availability_.maintained()) return;
     if (u >= peers_.size() || v >= peers_.size()) return;
     availability_.connect(peers_, u, v);
   });
@@ -227,6 +227,7 @@ bool Engine::tick_pre(PeerNode& p, double now, NeighborScan& scan) {
 
 void Engine::tick_plan(PeerNode& p, double now, const NeighborScan& scan, TickPlan& plan) {
   plan.planned = false;
+  plan.gated = false;
   plan.split_active = false;
   plan.s1_end = kNoSegment;
   plan.candidates.clear();
@@ -239,8 +240,32 @@ void Engine::tick_plan(PeerNode& p, double now, const NeighborScan& scan, TickPl
   plan.planned = true;
   plan.rng_before = p.rng;
   plan.stamp = capacity_commits_;
+  // The plan gate: a quiescent work lane proves the candidate build would
+  // come back empty (the availability plane saw the last event that could
+  // have created missing ∧ supplied work), and an empty build returns
+  // right below without drawing from p.rng — so skipping it wholesale is
+  // rng-neutral and every fixed-seed metric stays bit-identical.  The lane
+  // defaults to 1 and only work tracking ever clears it, so this reads
+  // "gate enabled and proven quiescent".
+  if (config_.plan_gate && pool_.has_work(p.id) == 0) {
+    plan.gated = true;
+    if (config_.plan_gate_recheck) recheck_gate(p, now, scan);
+    return;
+  }
   build_candidates(p, now, scan, plan);
-  if (plan.candidates.empty()) return;
+  if (plan.candidates.empty()) {
+    // An empty build is the cheap moment to settle the conservative work
+    // summary: if the supplied ∧ ¬received scan finds nothing at or past
+    // the anchor, the view quiesces and the gate skips this peer until a
+    // delta wakes it.  View p.id belongs to this member in both dispatch
+    // paths (the plan lanes partition members), so the writes are
+    // race-free, and the decision reads only pre-wave state — identical
+    // at every shard count.
+    if (config_.plan_gate) {
+      (void)availability_.try_quiesce(p.id, p.received, p.playback_anchor());
+    }
+    return;
+  }
 
   ScheduleContext ctx;
   ctx.now = now;
@@ -302,7 +327,15 @@ void Engine::tick_commit(PeerNode& p, double now, const NeighborScan& scan, Tick
   // Stage mode folds every global counter at the wave's final drain, from
   // the plan's final contents (a fixup re-plan overwrites them first, so
   // the fold always matches the sequential charge).
-  if (!plan.stage) stats_.availability_probes += plan.probes;
+  if (!plan.stage) {
+    stats_.availability_probes += plan.probes;
+    if (plan.gated) {
+      ++stats_.plans_gated;
+      if (config_.plan_gate_recheck) ++stats_.gate_rechecks;
+    } else if (!plan.candidates.empty()) {
+      ++stats_.plans_built;
+    }
+  }
   if (plan.candidates.empty()) return;
 
   if (!plan.stage) {
@@ -507,6 +540,12 @@ void Engine::commit_wave(const std::vector<std::uint32_t>& members, std::size_t 
       if (!plan.fixup) ++stats_.parallel_commits;
       plan.fixup = false;
       stats_.availability_probes += plan.probes;
+      if (plan.gated) {
+        ++stats_.plans_gated;
+        if (config_.plan_gate_recheck) ++stats_.gate_rechecks;
+      } else if (!plan.candidates.empty()) {
+        ++stats_.plans_built;
+      }
       if (!plan.candidates.empty()) {
         if (plan.split_active) {
           ++stats_.split_ticks;
@@ -640,30 +679,117 @@ void Engine::build_candidates(PeerNode& p, double now, const NeighborScan& scan,
     return static_cast<SegmentId>(pos);
   };
 
+  if (!config_.plan_gate) {
+    // Segment-major supplier enumeration (the pre-plan-gate build, kept
+    // verbatim as the --no-plan-gate reference path).
+    for (SegmentId id = next_candidate(from); id <= to; id = next_candidate(id + 1)) {
+      const double* retry_at = p.pending.find(id);
+      if (retry_at != nullptr && *retry_at > now) continue;
+      CandidateSegment c(salloc);
+      c.id = id;
+      c.epoch =
+          (boundary != kNoSegment && id > boundary) ? StreamEpoch::kNew : StreamEpoch::kOld;
+      // Deferred to the commit phase: build may run on a pool thread.
+      plan.probes += alive_neighbors.size();
+      for (const net::NodeId nb : alive_neighbors) {
+        const PeerNode& n = peers_[nb];
+        if (!n.buffer.contains(id)) continue;
+        SupplierView s;
+        s.node = nb;
+        s.send_rate = n.outbound_rate();
+        s.buffer_position = n.buffer.position_from_tail(id);
+        // The paper's R_ij is a *measured* per-link receiving rate, which
+        // in a real system reflects the link's current load.  Expose the
+        // backlog as the initial queueing estimate so requesters spread
+        // load instead of herding onto the nominally fastest supplier.
+        s.queue_delay = transfers_.queue_delay(p.id, nb, now);
+        c.suppliers.push_back(s);
+      }
+      if (!c.suppliers.empty()) out.push_back(std::move(c));
+    }
+    return;
+  }
+
+  // Neighbour-major enumeration: collect the candidate ids first, then walk
+  // each neighbour once across all of them.  Identical output by
+  // construction — the id walk and pending filter are unchanged (ascending
+  // ids), suppliers still append in ascending-neighbour order, and every
+  // probed value (outbound_rate, queue_delay, buffer state) is stable for
+  // the duration of a plan in both dispatch paths — but each neighbour's
+  // buffer, rate and queue-delay are now touched in one contiguous burst
+  // instead of once per (segment, neighbour) pair, which is where the
+  // segment-major build burns its time at 10^5+ peers (random-access cache
+  // misses, see BM_PlanGate).
   for (SegmentId id = next_candidate(from); id <= to; id = next_candidate(id + 1)) {
     const double* retry_at = p.pending.find(id);
     if (retry_at != nullptr && *retry_at > now) continue;
     CandidateSegment c(salloc);
     c.id = id;
     c.epoch = (boundary != kNoSegment && id > boundary) ? StreamEpoch::kNew : StreamEpoch::kOld;
-    // Deferred to the commit phase: build may run on a pool thread.
+    // Same accounting as the segment-major walk: one probe per (visited
+    // segment, alive neighbour) pair, charged whether or not it supplies.
     plan.probes += alive_neighbors.size();
-    for (const net::NodeId nb : alive_neighbors) {
-      const PeerNode& n = peers_[nb];
-      if (!n.buffer.contains(id)) continue;
+    if (incremental) {
+      // The view's supplier count is exactly how many SupplierViews the
+      // neighbour walk will append — one arena allocation per candidate
+      // instead of a doubling chain interleaved across the whole list.
+      c.suppliers.reserve(
+          view->supplier_count[static_cast<std::size_t>(id) - view->window_base]);
+    }
+    out.push_back(std::move(c));
+  }
+  if (out.empty()) return;
+  for (const net::NodeId nb : alive_neighbors) {
+    const PeerNode& n = peers_[nb];
+    // Hoisted lazily on the first supplied candidate: both are invariant
+    // across the plan (rates only change in churn/setup; queue_delay reads
+    // the transfer plane no commit touches while plans are in flight).
+    double send_rate = 0.0;
+    double queue_delay = 0.0;
+    bool hoisted = false;
+    // Candidate ids ascend, so the neighbour's presence bitset is read one
+    // 64-bit word at a time instead of one bounds-checked test per
+    // (candidate, neighbour) pair.
+    const util::DynamicBitset& presence = n.buffer.presence();
+    std::size_t cached_base = ~std::size_t{0};
+    std::uint64_t cached_word = 0;
+    for (CandidateSegment& c : out) {
+      const auto pos = static_cast<std::size_t>(c.id);
+      const std::size_t base = pos - pos % 64;
+      if (base != cached_base) {
+        cached_base = base;
+        cached_word = presence.extract_word(base);
+      }
+      if (((cached_word >> (pos % 64)) & 1u) == 0) continue;
+      if (!hoisted) {
+        send_rate = n.outbound_rate();
+        queue_delay = transfers_.queue_delay(p.id, nb, now);
+        hoisted = true;
+      }
       SupplierView s;
       s.node = nb;
-      s.send_rate = n.outbound_rate();
-      s.buffer_position = n.buffer.position_from_tail(id);
-      // The paper's R_ij is a *measured* per-link receiving rate, which in
-      // a real system reflects the link's current load.  Expose the backlog
-      // as the initial queueing estimate so requesters spread load instead
-      // of herding onto the nominally fastest supplier.
-      s.queue_delay = transfers_.queue_delay(p.id, nb, now);
+      s.send_rate = send_rate;
+      s.buffer_position = n.buffer.position_from_tail(c.id);
+      s.queue_delay = queue_delay;
       c.suppliers.push_back(s);
     }
-    if (!c.suppliers.empty()) out.push_back(std::move(c));
   }
+  // Unsupplied ids produce no CandidateSegment in the segment-major build;
+  // drop them here, preserving ascending-id order.
+  std::erase_if(out, [](const CandidateSegment& c) { return c.suppliers.empty(); });
+}
+
+void Engine::recheck_gate(PeerNode& p, double now, const NeighborScan& scan) {
+  // Scratch plan on the stack: the real plan must stay untouched (the gate
+  // skipped it before any field beyond the prologue was written).  The
+  // build allocates supplier lists only when a candidate has a supplier,
+  // which the check forbids — so no arena is needed.
+  TickPlan scratch;
+  scratch.candidates.clear();
+  build_candidates(p, now, scan, scratch);
+  GS_CHECK(scratch.candidates.empty())
+      << "plan gate fired for peer " << p.id << " with " << scratch.candidates.size()
+      << " buildable candidates at t=" << now;
 }
 
 bool Engine::issue_one(PeerNode& p, SegmentId id, net::NodeId supplier, double now,
@@ -808,14 +934,14 @@ void Engine::deliver_segment(PeerNode& p, SegmentId id, double now, bool count_w
     ++stats_.duplicates;
     return;
   }
-  if (availability_.enabled()) {
+  if (availability_.maintained()) {
     if (journal_deltas_) {
       // Batched drain, deferred-mark path: stage the deltas on the book
       // pass's journal row; the merge wave applies them.
       emit_view_deltas(p.id, id, evicted, data_shards_);
     } else {
       // Publish the buffer change to the neighbourhood's availability views.
-      availability_.on_gain(graph_, p.id, id);
+      availability_.on_gain(graph_, peers_, p.id, id);
       if (evicted != kNoSegment) availability_.on_evict(graph_, peers_, p.id, evicted);
     }
   }
@@ -916,7 +1042,7 @@ void Engine::on_delivery_batch(const sim::PooledBatchItem* items, std::size_t co
           continue;
         }
         batch_outcomes_[idx] = MarkOutcome::kFresh;
-        if (availability_.enabled()) emit_view_deltas(to, id, evicted, s);
+        if (availability_.maintained()) emit_view_deltas(to, id, evicted, s);
       }
     });
 
@@ -925,7 +1051,7 @@ void Engine::on_delivery_batch(const sim::PooledBatchItem* items, std::size_t co
     // exactly as the inline pops would.  Cross-peer state is only written
     // (metric pushes, boundary deltas), never read, so the mark wave's early
     // buffer writes for *other* peers are invisible here.
-    journal_deltas_ = availability_.enabled();
+    journal_deltas_ = availability_.maintained();
     for (std::size_t i = 0; i < count; ++i) {
       if (experiment_done_) break;  // the inline order stops popping here too
       const auto to = static_cast<net::NodeId>(items[i].a);
@@ -955,7 +1081,7 @@ void Engine::on_delivery_batch(const sim::PooledBatchItem* items, std::size_t co
   // on the supplier counts).  Head recomputation reads other peers'
   // buffers, so it waits for the barrier and runs sequentially against the
   // settled state — which is exactly the head the inline order ends at.
-  if (availability_.enabled()) {
+  if (availability_.maintained()) {
     util::global_pool().run_batch(shards, lanes, [this](std::size_t t) {
       std::vector<net::NodeId>& dirty = dirty_views_[t];
       dirty.clear();
@@ -967,7 +1093,9 @@ void Engine::on_delivery_batch(const sim::PooledBatchItem* items, std::size_t co
               availability_.apply_gain(d.view, d.id);
               break;
             case ViewDelta::Kind::kEvict:
-              if (availability_.apply_evict(d.view, d.id)) dirty.push_back(d.view);
+              if (availability_.apply_evict(d.view, d.id)) {
+                dirty.push_back(d.view);
+              }
               break;
             case ViewDelta::Kind::kBoundary:
               availability_.apply_boundary(d.view, static_cast<int>(d.id));
@@ -1026,7 +1154,7 @@ void Engine::book_split_drain(const sim::PooledBatchItem* items, std::size_t cou
         continue;
       }
       batch_outcomes_[idx] = MarkOutcome::kFresh;
-      if (availability_.enabled()) emit_view_deltas(to, id, evicted, s);
+      if (availability_.maintained()) emit_view_deltas(to, id, evicted, s);
       deliver_bookkeeping(p, id, items[idx].at, /*count_wire=*/true);
     }
   });
@@ -1121,7 +1249,7 @@ void Engine::push_to_neighbors(PeerNode& p, SegmentId id, double now) {
 void Engine::learn_boundaries(PeerNode& p, int up_to, double now) {
   if (up_to <= p.known_boundary()) return;
   p.known_boundary() = up_to;
-  if (availability_.enabled()) {
+  if (availability_.maintained()) {
     if (book_phase_) {
       // Split book phase: boundary gossip writes *neighbour* views, which
       // other lanes own — journal it like the gain/evict deltas (the

@@ -245,6 +245,33 @@ struct EngineConfig {
   /// stream_determinism_test); the window slides in the tick pre phase and
   /// reconstructs the entering range exactly from neighbour buffers.
   bool windowed_availability = false;
+  /// The plan work-set plane (PR 10).  Two coupled mechanisms behind one
+  /// switch, both "identical metrics, less work" like timing_wheel:
+  ///   - the quiescence gate: under incremental availability the index
+  ///     tracks each view's missing ∧ supplied word count and mirrors the
+  ///     zero/nonzero state into PeerPool::has_work, and tick_plan skips
+  ///     the whole NeighborScan + candidate build for peers whose lane
+  ///     reads 0.  tick_plan returns before any strategy rng draw when the
+  ///     candidate list is empty, so a correct gate is rng-neutral and
+  ///     fixed-seed metrics stay bit-identical (enforced by
+  ///     stream_determinism_test at shards 0/1/4/7);
+  ///   - the neighbour-major candidate build: build_candidates collects
+  ///     the missing-and-supplied ids first, then enumerates suppliers
+  ///     neighbour-outer, hoisting each neighbour's rate and queue-delay
+  ///     lookups once per plan instead of once per (segment, neighbour)
+  ///     probe — same candidates, same supplier order, same probe
+  ///     accounting, a fraction of the random memory traffic.
+  /// With the flag off both paths revert to the exact pre-gate code.
+  bool plan_gate = true;
+  /// Maintain the availability index in gate-only mode under the *legacy*
+  /// rescan scheduler (incremental_availability off) so the plan gate can
+  /// fire there too.  Off by default: it adds index upkeep to a mode whose
+  /// point is measuring the rescan cost (bench_ablation_availability).
+  bool plan_gate_legacy = false;
+  /// Debug cross-check: re-run the full candidate build for every gated
+  /// peer and GS_CHECK the result is empty.  Costs what the gate saves;
+  /// wired into the ASan/UBSan CI job and the PlanGate recheck tests.
+  bool plan_gate_recheck = false;
   /// Charge availability gossip as BufferMapDelta exchanges (changed-bit
   /// runs + base shift) instead of full 620-bit maps, with a full-map
   /// refresh every map_refresh_period adverts and whenever the delta would
@@ -325,6 +352,13 @@ struct EngineStats {
   std::uint64_t availability_probes = 0;
   /// Availability-index delta events applied (incremental mode only).
   std::uint64_t index_updates = 0;
+  /// Plan-gate diagnostics (config_.plan_gate): member ticks whose
+  /// candidate build was skipped because the work lane read quiescent,
+  /// ticks that did build a non-empty candidate list, and gated ticks
+  /// cross-checked by the debug recheck (plan_gate_recheck).
+  std::uint64_t plans_gated = 0;
+  std::uint64_t plans_built = 0;
+  std::uint64_t gate_rechecks = 0;
   /// Full-map / delta adverts sent under delta_maps accounting.
   std::uint64_t full_map_adverts = 0;
   std::uint64_t delta_adverts = 0;
@@ -494,6 +528,7 @@ class Engine {
   struct TickPlan {
     bool live = false;     ///< tick_pre ran (alive non-source member)
     bool planned = false;  ///< the budget allowed a candidate build
+    bool gated = false;    ///< the plan gate skipped the candidate build
     util::Rng rng_before;  ///< p.rng before planning (restored on re-plan)
     /// capacity_commits_ when the plan was derived: commits stamped later
     /// than this are the ones the plan could not have observed.
@@ -564,6 +599,10 @@ class Engine {
   /// neighbours under delta_maps accounting (delta or periodic full map).
   void advert_availability(PeerNode& p, std::size_t receivers);
   void build_candidates(PeerNode& p, double now, const NeighborScan& scan, TickPlan& plan);
+  /// Debug cross-check for the plan gate (config_.plan_gate_recheck): runs
+  /// the full candidate build for a gated-out peer on scratch state and
+  /// GS_CHECKs that it really had nothing schedulable.
+  void recheck_gate(PeerNode& p, double now, const NeighborScan& scan);
   /// Issues one scheduled request.  Inline mode (plan.stage false) posts the
   /// delivery event and bumps the global counters directly; stage mode
   /// stages the delivery into the plan, stamps dirty_supplier_ with

@@ -139,7 +139,7 @@ void Engine::handle_leave(net::NodeId v) {
   }
   // Unregister from the neighbourhood views while the graph still has v's
   // edges; the repair edges membership adds below re-enter via connect().
-  if (availability_.enabled()) availability_.remove_peer(graph_, peers_, v);
+  if (availability_.maintained()) availability_.remove_peer(graph_, peers_, v);
   membership_.leave(v);
   ++stats_.leaves;
   if (p.tracked() && p.active_switch() >= 0) {
@@ -191,7 +191,7 @@ net::NodeId Engine::handle_join() {
       p.start_id() <= timeline_.session(static_cast<std::size_t>(current)).last) {
     timeline_.init_switch_counters(p, current, sim_.now(), config_.q_startup);
   }
-  if (availability_.enabled()) availability_.add_peer(graph_, peers_, v);
+  if (availability_.maintained()) availability_.add_peer(graph_, peers_, v);
   start_peer_tick(p, /*initial=*/false);
   return v;
 }
@@ -306,6 +306,17 @@ std::vector<SwitchMetrics> Engine::run() {
       // tracks a little ahead so slides reconstruct less.
       availability_.set_window(config_.buffer_capacity + 192);
     }
+    // The plan gate rides the maintained views for free: work tracking
+    // mirrors each view's missing ∧ supplied word count into the pool's
+    // has_work lane, and tick_plan skips quiescent members.
+    if (config_.plan_gate) availability_.enable_work_tracking(&pool_);
+    availability_.build(graph_, peers_);
+  } else if (config_.plan_gate && config_.plan_gate_legacy) {
+    // Legacy rescan scheduler with the gate: maintain the index purely as
+    // the gate's work tracker (enabled() stays false, so candidate builds
+    // and adverts still run the legacy rescan they are benchmarked as).
+    availability_.set_gate_only();
+    availability_.enable_work_tracking(&pool_);
     availability_.build(graph_, peers_);
   }
   start_session(0);

@@ -14,23 +14,8 @@ void DynamicBitset::resize(std::size_t bits) {
   trim();
 }
 
-void DynamicBitset::set(std::size_t pos, bool value) {
-  GS_CHECK_LT(pos, bits_);
-  const std::uint64_t mask = 1ULL << (pos % kWordBits);
-  if (value) {
-    words_[pos / kWordBits] |= mask;
-  } else {
-    words_[pos / kWordBits] &= ~mask;
-  }
-}
-
 void DynamicBitset::reset_all() noexcept {
   for (auto& w : words_) w = 0;
-}
-
-bool DynamicBitset::test(std::size_t pos) const {
-  GS_CHECK_LT(pos, bits_);
-  return (words_[pos / kWordBits] >> (pos % kWordBits)) & 1ULL;
 }
 
 std::size_t DynamicBitset::count() const noexcept {
@@ -121,16 +106,6 @@ void DynamicBitset::shift_down(std::size_t bits) {
   }
   std::copy(words_.begin() + static_cast<std::ptrdiff_t>(words), words_.end(), words_.begin());
   std::fill(words_.end() - static_cast<std::ptrdiff_t>(words), words_.end(), 0ULL);
-}
-
-std::uint64_t DynamicBitset::extract_word(std::size_t from) const noexcept {
-  if (from >= bits_) return 0;
-  const std::size_t word = from / kWordBits;
-  const std::size_t shift = from % kWordBits;
-  // trim() keeps bits past size() clear, so no tail masking is needed.
-  std::uint64_t out = words_[word] >> shift;
-  if (shift != 0 && word + 1 < words_.size()) out |= words_[word + 1] << (kWordBits - shift);
-  return out;
 }
 
 DynamicBitset DynamicBitset::copy_window(const DynamicBitset& src, std::size_t from,

@@ -9,6 +9,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/check.hpp"
+
 namespace gs::util {
 
 class DynamicBitset {
@@ -20,10 +22,24 @@ class DynamicBitset {
   void resize(std::size_t bits);
   [[nodiscard]] std::size_t size() const noexcept { return bits_; }
 
-  void set(std::size_t pos, bool value = true);
+  // set/test/extract_word are defined inline: they sit on the per-delta and
+  // per-probe hot paths of the availability plane, where an out-of-line
+  // call costs as much as the word access itself.
+  void set(std::size_t pos, bool value = true) {
+    GS_CHECK_LT(pos, bits_);
+    const std::uint64_t mask = 1ULL << (pos % kWordBits);
+    if (value) {
+      words_[pos / kWordBits] |= mask;
+    } else {
+      words_[pos / kWordBits] &= ~mask;
+    }
+  }
   void reset(std::size_t pos) { set(pos, false); }
   void reset_all() noexcept;
-  [[nodiscard]] bool test(std::size_t pos) const;
+  [[nodiscard]] bool test(std::size_t pos) const {
+    GS_CHECK_LT(pos, bits_);
+    return (words_[pos / kWordBits] >> (pos % kWordBits)) & 1ULL;
+  }
 
   /// Number of set bits.
   [[nodiscard]] std::size_t count() const noexcept;
@@ -64,7 +80,15 @@ class DynamicBitset {
 
   /// 64 bits starting at `from` (unaligned); positions past size() read 0.
   /// Lets callers diff/scan windows word-at-a-time at arbitrary offsets.
-  [[nodiscard]] std::uint64_t extract_word(std::size_t from) const noexcept;
+  [[nodiscard]] std::uint64_t extract_word(std::size_t from) const noexcept {
+    if (from >= bits_) return 0;
+    const std::size_t word = from / kWordBits;
+    const std::size_t shift = from % kWordBits;
+    // trim() keeps bits past size() clear, so no tail masking is needed.
+    std::uint64_t out = words_[word] >> shift;
+    if (shift != 0 && word + 1 < words_.size()) out |= words_[word + 1] << (kWordBits - shift);
+    return out;
+  }
 
   /// A new `bits`-bit bitset holding src[from, from + bits); positions past
   /// src's size read 0.  Word-at-a-time window extraction.

@@ -52,6 +52,17 @@ struct RunSpec {
   /// Timing-wheel event plane (defaults on, like the engine; false = the
   /// binary-heap baseline backend).
   bool wheel = true;
+  /// Plan work-set plane (defaults on, like the engine; false = the
+  /// segment-major build with no quiescence gate).
+  bool gate = true;
+  /// Maintain a gate-only availability index under the legacy rescan
+  /// scheduler so the gate fires there too (plan_gate_legacy).
+  bool gate_legacy = false;
+  /// Debug cross-check: re-build gated plans and assert emptiness.
+  bool gate_recheck = false;
+  /// Caught-up steady swarm (no synthetic backlog or lag): the scenario
+  /// where most peers quiesce and the plan gate actually fires.
+  bool steady = false;
   std::size_t parallel = 0;
   std::size_t tick_shard = 16;
   std::vector<net::NodeId> sources = {0, 1};
@@ -85,6 +96,15 @@ RunOutput run_setup(const RunSpec& setup) {
   config.flash_crowd_joins = setup.flash_joins;
   config.cdn_assist = setup.cdn;
   config.timing_wheel = setup.wheel;
+  config.plan_gate = setup.gate;
+  config.plan_gate_legacy = setup.gate && setup.gate_legacy;
+  config.plan_gate_recheck = setup.gate && setup.gate_recheck;
+  if (setup.steady) {
+    config.sparse_fill = 1.0;
+    config.stable_backlog_scale = 0.0;
+    config.base_lag_segments = 0.0;
+    config.hop_lag_seconds = 0.0;
+  }
   config.parallel_shards = setup.parallel;
   config.tick_shard_size = setup.tick_shard;
 
@@ -1229,6 +1249,153 @@ TEST(TimingWheel, WheelRunsReproduceThemselvesAndReportTelemetry) {
   EXPECT_EQ(heap.stats.events_wheeled, 0u) << "heap backend must report zero wheel telemetry";
   EXPECT_EQ(heap.stats.wheel_overflow_promotions, 0u);
   EXPECT_EQ(heap.stats.spill_heap_peak, 0u);
+}
+
+// -------------------------------------------------------------- PlanGate ---
+//
+// The plan work-set plane is pure mechanism: a gated peer's tick_plan
+// returns before any strategy rng draw (an empty candidate list draws
+// nothing either way), and the neighbour-major candidate build emits the
+// identical candidate list, supplier order and supplier values the
+// segment-major build does.  So fixed-seed metrics must be bit-identical
+// gate on vs off — across shard counts and composed with every other flag
+// family, in both availability modes.
+
+RunOutput run_gate(RunSpec setup, bool gate) {
+  setup.gate = gate;
+  return run_setup(setup);
+}
+
+TEST(PlanGate, SequentialRunMatchesUngated) {
+  RunSpec setup;
+  setup.seed = 81;
+  expect_identical(run_gate(setup, false), run_gate(setup, true));
+}
+
+TEST(PlanGate, SingleShardIncrementalMatchesUngated) {
+  RunSpec setup;
+  setup.seed = 82;
+  setup.parallel = 1;
+  setup.incremental = true;
+  expect_identical(run_gate(setup, false), run_gate(setup, true));
+}
+
+TEST(PlanGate, ShardedChurnMatchesUngated) {
+  RunSpec setup;
+  setup.seed = 83;
+  setup.parallel = 4;
+  setup.churn = true;
+  setup.incremental = true;
+  expect_identical(run_gate(setup, false), run_gate(setup, true));
+}
+
+TEST(PlanGate, SevenShardMultiSwitchWindowedMatchesUngated) {
+  RunSpec setup;
+  setup.seed = 84;
+  setup.parallel = 7;
+  setup.windowed = true;
+  setup.sources = {0, 1, 2};
+  setup.switch_times = {0.0, 40.0};
+  expect_identical(run_gate(setup, false), run_gate(setup, true));
+}
+
+TEST(PlanGate, CdnAssistMatchesUngated) {
+  RunSpec setup;
+  setup.seed = 85;
+  setup.parallel = 4;
+  setup.cdn = true;
+  setup.windowed = true;
+  expect_identical(run_gate(setup, false), run_gate(setup, true));
+}
+
+TEST(PlanGate, FlashCrowdPeerPoolMatchesUngated) {
+  RunSpec setup;
+  setup.seed = 86;
+  setup.parallel = 4;
+  setup.peer_pool = true;
+  setup.flash_joins = 30;
+  setup.incremental = true;
+  expect_identical(run_gate(setup, false), run_gate(setup, true));
+}
+
+TEST(PlanGate, FullCompositionMatchesUngated) {
+  // The kitchen sink: churn + batched dispatch + windowed views + peer
+  // pool + token-bucket capacity on 7 shards.
+  RunSpec setup;
+  setup.seed = 87;
+  setup.parallel = 7;
+  setup.churn = true;
+  setup.batch = true;
+  setup.windowed = true;
+  setup.peer_pool = true;
+  setup.token_bucket = true;
+  expect_identical(run_gate(setup, false), run_gate(setup, true));
+}
+
+TEST(PlanGate, LegacyRescanMatchesUngated) {
+  // plan_gate_legacy maintains a gate-only index under the legacy rescan
+  // scheduler; the scheduler must keep reading its own rescans (candidate
+  // lists, boundary discovery) exactly as if no index existed.
+  RunSpec setup;
+  setup.seed = 88;
+  setup.gate_legacy = true;
+  expect_identical(run_gate(setup, false), run_gate(setup, true));
+}
+
+TEST(PlanGate, LegacyChurnShardedMatchesUngated) {
+  RunSpec setup;
+  setup.seed = 89;
+  setup.gate_legacy = true;
+  setup.churn = true;
+  setup.parallel = 4;
+  expect_identical(run_gate(setup, false), run_gate(setup, true));
+}
+
+TEST(PlanGate, SteadySwarmMatchesUngatedAndActuallyGates) {
+  // The caught-up steady swarm is where quiescence really occurs; beyond
+  // bit-identity, assert the gate fires (a steady-state run with zero
+  // gated plans means the work summary never went quiet — a tracking bug
+  // conservatism would otherwise hide).
+  RunSpec setup;
+  setup.seed = 90;
+  setup.steady = true;
+  setup.windowed = true;
+  setup.batch = true;
+  const RunOutput gated = run_gate(setup, true);
+  expect_identical(run_gate(setup, false), gated);
+  EXPECT_GT(gated.stats.plans_gated, 0u)
+      << "steady swarm never gated a plan: work tracking is stuck at has-work";
+  EXPECT_GT(gated.stats.plans_built, 0u);
+}
+
+TEST(PlanGate, RecheckedRunsReproduceThemselvesAndPassTheCrossCheck) {
+  // plan_gate_recheck re-runs the full candidate build for every gated
+  // peer and GS_CHECKs emptiness — a run completing at all is the
+  // assertion; the stats must show the recheck actually covered the gate.
+  RunSpec setup;
+  setup.seed = 91;
+  setup.steady = true;
+  setup.windowed = true;
+  setup.gate_recheck = true;
+  const RunOutput a = run_setup(setup);
+  expect_identical(a, run_setup(setup));
+  EXPECT_GT(a.stats.plans_gated, 0u);
+  EXPECT_EQ(a.stats.gate_rechecks, a.stats.plans_gated)
+      << "every gated plan must be cross-checked when plan_gate_recheck is on";
+}
+
+TEST(PlanGate, GatedRunsReproduceThemselvesAndReportTelemetry) {
+  RunSpec setup;
+  setup.seed = 92;
+  setup.parallel = 4;
+  setup.churn = true;
+  setup.windowed = true;
+  const RunOutput a = run_setup(setup);
+  expect_identical(a, run_setup(setup));
+  EXPECT_GT(a.stats.plans_built, 0u) << "no plan ever built candidates";
+  const RunOutput off = run_gate(setup, false);
+  EXPECT_EQ(off.stats.plans_gated, 0u) << "gate off must report zero gated plans";
+  EXPECT_EQ(off.stats.gate_rechecks, 0u);
 }
 
 TEST(Determinism, DifferentSeedsProduceDifferentRuns) {

@@ -43,7 +43,14 @@ NON_COUNTER_FIELDS = {
 
 
 def load_rows(path):
-    """Returns {row name: {counter: value}} for the per-iteration rows."""
+    """Returns {row name: {counter: value}} for the per-iteration rows.
+
+    Understands two schemas: google-benchmark JSON (a "benchmarks" array of
+    rows with counters inline) and the figure benches' point reports (a
+    "bench" name plus a "points" array keyed by peer count — every numeric
+    field of a point is fixed-seed deterministic simulation output, so all
+    of them gate).
+    """
     try:
         with open(path, "r", encoding="utf-8") as handle:
             report = json.load(handle)
@@ -60,6 +67,14 @@ def load_rows(path):
             if key not in NON_COUNTER_FIELDS and isinstance(value, (int, float))
         }
         rows[row["name"]] = counters
+    for point in report.get("points", []):
+        name = f"{report.get('bench', 'points')}/peers:{point.get('peers')}"
+        counters = {
+            key: value
+            for key, value in point.items()
+            if key != "peers" and isinstance(value, (int, float))
+        }
+        rows[name] = counters
     return rows
 
 
